@@ -1,0 +1,97 @@
+// Ablation: eager vs lazy version management (paper §3: "The scheme
+// described here is eager... An alternative lazy implementation could
+// buffer changes to a contract's storage, applying them only on commit").
+//
+// Workload: KvStore blocks whose put() transactions do read-check-write,
+// with a tunable fraction of traffic aimed at one hot key. Both backends
+// present identical lock footprints, so any timing difference is purely
+// the version-management strategy: eager pays inverse logging always and
+// undo replay on abort; lazy pays overlay lookups on reads and a second
+// application pass on commit, but aborts by discarding.
+//
+// Usage: bench_ablation_lazy [--quick] [--samples=N] [--threads=N] ...
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "contracts/kv_store.hpp"
+#include "core/miner.hpp"
+#include "harness.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace concord;
+using contracts::KvStore;
+using Clock = std::chrono::steady_clock;
+
+const vm::Address kStoreAddr = vm::Address::from_u64(80, 0xCC);
+
+std::unique_ptr<vm::World> make_world(KvStore::Backend backend) {
+  auto world = std::make_unique<vm::World>();
+  world->contracts().add(std::make_unique<KvStore>(kStoreAddr, backend));
+  return world;
+}
+
+std::vector<chain::Transaction> make_block(std::size_t n, unsigned hot_percent,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<chain::Transaction> txs;
+  txs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vm::Address sender = vm::Address::from_u64(1000 + i, 0x06);
+    const std::uint64_t key = rng.chance_percent(hot_percent) ? 1 : 100 + rng.below(100'000);
+    txs.push_back(KvStore::make_put_tx(kStoreAddr, sender, key,
+                                       static_cast<std::int64_t>(rng.below(1'000))));
+  }
+  return txs;
+}
+
+chain::Block genesis_of(const vm::World& world) {
+  chain::Block genesis;
+  genesis.header.state_root = world.state_root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  return genesis;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t txs = config.quick ? 100 : 200;
+
+  core::MinerConfig miner_config;
+  miner_config.threads = config.threads;
+  miner_config.nanos_per_gas = config.nanos_per_gas;
+
+  std::printf("Ablation: eager (undo-log) vs lazy (write-buffer) version management\n");
+  std::printf("Workload: KvStore read-check-write puts, %zu transactions, %u threads\n\n", txs,
+              config.threads);
+  std::printf("# %-8s %12s %12s %10s\n", "hot-key%", "eager_ms", "lazy_ms", "lazy/eager");
+
+  for (const unsigned hot : {0u, 10u, 25u, 50u, 75u, 95u}) {
+    double means[2] = {0, 0};
+    int which = 0;
+    for (const KvStore::Backend backend : {KvStore::Backend::kEager, KvStore::Backend::kLazy}) {
+      util::RunningStats stats;
+      for (int r = 0; r < config.warmups + config.samples; ++r) {
+        auto world = make_world(backend);
+        const auto block_txs = make_block(txs, hot, 42);
+        const chain::Block parent = genesis_of(*world);
+        core::Miner miner(*world, miner_config);
+        const auto start = Clock::now();
+        (void)miner.mine(block_txs, parent);
+        const double ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+        if (r >= config.warmups) stats.add(ms);
+      }
+      means[which++] = stats.mean();
+    }
+    std::printf("%8u %12.3f %12.3f %10.3f\n", hot, means[0], means[1], means[1] / means[0]);
+    std::fflush(stdout);
+  }
+  return 0;
+}

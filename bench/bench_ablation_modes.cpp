@@ -1,0 +1,37 @@
+// Ablation: mode-aware abstract locks (READ/INCREMENT sharing — footnote 3
+// of the paper generalized) versus the paper's strictly-mutual-exclusion
+// base design. Runs the Ballot conflict sweep both ways.
+//
+// The interesting rows are the low-conflict ones: under exclusive-only
+// locks every vote serializes on the proposal's voteCount entry even when
+// no two transactions share a voter, so the miner's speedup collapses —
+// the cost footnote 3 quietly avoids. Ballot's *validator* collapses too:
+// the published schedule must chain all votes.
+//
+// Usage: bench_ablation_modes [--quick] [--samples=N] [--threads=N] ...
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t txs = config.quick ? 100 : 200;
+
+  std::printf("Ablation: commutativity-aware lock modes vs exclusive-only locks\n");
+  std::printf("Workload: Ballot, %zu transactions, %u threads\n\n", txs, config.threads);
+
+  for (const bool exclusive : {false, true}) {
+    config.exclusive_locks_only = exclusive;
+    std::printf("%s abstract locks:\n",
+                exclusive ? "EXCLUSIVE-ONLY (paper base design)" : "MODE-AWARE (this library)");
+    bench::print_point_header();
+    for (const unsigned conflict : bench::conflict_axis(config.quick)) {
+      workload::WorkloadSpec spec{workload::BenchmarkKind::kBallot, txs, conflict, 42};
+      bench::print_point(bench::measure_point(spec, config));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Appendix B: "Mean and Standard Deviation of Benchmark Running
+// Times" — the absolute running times (ms) behind Figure 1, with one row
+// per configuration carrying mean±stddev for Serial / Miner / Validator.
+//
+// Usage: bench_appendix_b [--quick] [--samples=N] [--threads=N] ...
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+
+void print_time_header() {
+  std::printf("# %-14s %5s %9s   %-18s %-18s %-18s\n", "benchmark", "txs", "conflict%",
+              "serial_ms", "miner_ms", "validator_ms");
+}
+
+void print_time_row(const concord::bench::PointResult& point) {
+  std::printf("%-16s %5zu %9u   %8.3f ± %-7.3f %8.3f ± %-7.3f %8.3f ± %-7.3f\n",
+              std::string(concord::workload::to_string(point.spec.kind)).c_str(),
+              point.spec.transactions, point.spec.conflict_percent, point.serial.mean_ms,
+              point.serial.stddev_ms, point.miner.mean_ms, point.miner.stddev_ms,
+              point.validator.mean_ms, point.validator.stddev_ms);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t conflict_sweep_txs = config.quick ? 100 : 200;
+
+  std::printf("Appendix B (left column): running times vs block size, 15%% conflict\n");
+  print_time_header();
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    for (const std::size_t txs : bench::blocksize_axis(config.quick)) {
+      print_time_row(bench::measure_point({kind, txs, 15, 42}, config));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Appendix B (right column): running times vs conflict%%, %zu transactions\n",
+              conflict_sweep_txs);
+  print_time_header();
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    for (const unsigned conflict : bench::conflict_axis(config.quick)) {
+      print_time_row(bench::measure_point({kind, conflict_sweep_txs, conflict, 42}, config));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces the LEFT column of Figure 1: "speedup of the miner and
+// validator versus serial mining ... as block size increases" — one series
+// per benchmark, transactions ∈ [10, 400] at a fixed 15% data conflict,
+// 3 miner threads, 3 validator threads.
+//
+// Usage: bench_fig1_blocksize [--quick] [--samples=N] [--threads=N] ...
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+
+  std::printf("Figure 1 (left column): speedup vs block size, 15%% conflict, %u threads\n",
+              config.threads);
+  bench::print_point_header();
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    for (const std::size_t txs : bench::blocksize_axis(config.quick)) {
+      workload::WorkloadSpec spec;
+      spec.kind = kind;
+      spec.transactions = txs;
+      spec.conflict_percent = 15;
+      spec.seed = 42;
+      bench::print_point(bench::measure_point(spec, config));
+    }
+    std::printf("\n");  // gnuplot dataset separator per benchmark.
+  }
+  return 0;
+}

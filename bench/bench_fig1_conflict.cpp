@@ -1,0 +1,32 @@
+// Reproduces the RIGHT column of Figure 1: "the speedup as the data
+// conflict percentage increases for fixed blocks of 200 transactions" —
+// one series per benchmark, conflict ∈ [0%, 100%], 3 threads.
+//
+// Usage: bench_fig1_conflict [--quick] [--samples=N] [--threads=N] ...
+
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t txs = config.quick ? 100 : 200;
+
+  std::printf("Figure 1 (right column): speedup vs conflict%%, %zu transactions, %u threads\n",
+              txs, config.threads);
+  bench::print_point_header();
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    for (const unsigned conflict : bench::conflict_axis(config.quick)) {
+      workload::WorkloadSpec spec;
+      spec.kind = kind;
+      spec.transactions = txs;
+      spec.conflict_percent = conflict;
+      spec.seed = 42;
+      bench::print_point(bench::measure_point(spec, config));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

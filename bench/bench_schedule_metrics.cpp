@@ -1,0 +1,51 @@
+// The paper's §4 incentive mechanism measures published schedules by
+// parallelism ("reward miners more for publishing highly parallel
+// schedules (for example, as measured by critical path length)... Because
+// fork-join schedules are published in the blockchain, their degree of
+// parallelism is easily evaluated").
+//
+// This bench evaluates exactly that: for each benchmark and conflict
+// level it mines a 200-tx block and reports the published schedule's
+// critical path, width, parallelism factor and wire size — the quantities
+// a protocol would price.
+//
+// Usage: bench_schedule_metrics [--quick] ...
+
+#include <cstdio>
+
+#include "core/miner.hpp"
+#include "graph/happens_before.hpp"
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t txs = config.quick ? 100 : 200;
+
+  core::MinerConfig miner_config;
+  miner_config.threads = config.threads;
+  miner_config.nanos_per_gas = 0.0;  // Metrics need no wall-clock realism.
+
+  std::printf("Published-schedule parallelism metrics (%zu transactions)\n", txs);
+  std::printf("# %-14s %9s %7s %7s %12s %7s %9s %9s\n", "benchmark", "conflict%", "edges",
+              "cpath", "parallelism", "width", "sched_B", "B_per_tx");
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    for (const unsigned conflict : bench::conflict_axis(config.quick)) {
+      const workload::WorkloadSpec spec{kind, txs, conflict, 42};
+      auto fixture = workload::make_fixture(spec);
+      core::Miner miner(*fixture.world, miner_config);
+      const chain::Block block = miner.mine(fixture.transactions, fixture.genesis());
+      const auto metrics =
+          graph::compute_metrics(block.schedule.to_graph(block.transactions.size()));
+      const std::size_t bytes = block.schedule.encoded_size();
+      std::printf("%-16s %9u %7zu %7zu %12.2f %7zu %9zu %9.1f\n",
+                  std::string(workload::to_string(kind)).c_str(), conflict, metrics.edges,
+                  metrics.critical_path, metrics.parallelism, metrics.max_level_width, bytes,
+                  static_cast<double>(bytes) / static_cast<double>(txs));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table 1: "The average speedups for each benchmark" — for each
+// of Ballot / SimpleAuction / EtherDoc / Mixed, the miner and validator
+// speedups averaged over (a) the conflict sweep at 200 transactions and
+// (b) the block-size sweep at 15% conflict, plus the overall averages the
+// abstract quotes (1.33x miner / 1.69x validator on the authors' JVM).
+//
+// Usage: bench_table1 [--quick] [--samples=N] [--threads=N] ...
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t conflict_sweep_txs = config.quick ? 100 : 200;
+
+  struct Avg {
+    double miner_conflict = 0, validator_conflict = 0;
+    double miner_blocksize = 0, validator_blocksize = 0;
+  };
+  std::map<workload::BenchmarkKind, Avg> averages;
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    Avg& avg = averages[kind];
+
+    const auto conflicts = bench::conflict_axis(config.quick);
+    for (const unsigned conflict : conflicts) {
+      workload::WorkloadSpec spec{kind, conflict_sweep_txs, conflict, 42};
+      const auto point = bench::measure_point(spec, config);
+      avg.miner_conflict += point.miner_speedup();
+      avg.validator_conflict += point.validator_speedup();
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+    avg.miner_conflict /= static_cast<double>(conflicts.size());
+    avg.validator_conflict /= static_cast<double>(conflicts.size());
+
+    const auto sizes = bench::blocksize_axis(config.quick);
+    for (const std::size_t txs : sizes) {
+      workload::WorkloadSpec spec{kind, txs, 15, 42};
+      const auto point = bench::measure_point(spec, config);
+      avg.miner_blocksize += point.miner_speedup();
+      avg.validator_blocksize += point.validator_speedup();
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+    avg.miner_blocksize /= static_cast<double>(sizes.size());
+    avg.validator_blocksize /= static_cast<double>(sizes.size());
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf("Table 1: average speedups per benchmark (%u threads)\n", config.threads);
+  std::printf("%-16s | %-19s | %-19s\n", "", "Conflict sweep", "BlockSize sweep");
+  std::printf("%-16s | %8s %9s | %8s %9s\n", "benchmark", "Miner", "Validator", "Miner",
+              "Validator");
+  double overall_miner = 0, overall_validator = 0;
+  for (const auto& [kind, avg] : averages) {
+    std::printf("%-16s | %7.2fx %8.2fx | %7.2fx %8.2fx\n",
+                std::string(workload::to_string(kind)).c_str(), avg.miner_conflict,
+                avg.validator_conflict, avg.miner_blocksize, avg.validator_blocksize);
+    overall_miner += avg.miner_conflict + avg.miner_blocksize;
+    overall_validator += avg.validator_conflict + avg.validator_blocksize;
+  }
+  overall_miner /= static_cast<double>(2 * averages.size());
+  overall_validator /= static_cast<double>(2 * averages.size());
+  std::printf("%-16s | miner %.2fx, validator %.2fx  (paper: 1.33x / 1.69x)\n", "OVERALL",
+              overall_miner, overall_validator);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension sweep for the paper's §4 claim that "the validator is not
+// required to match the miner's level of parallelism: using a
+// work-stealing scheduler, the validator can exploit whatever degree of
+// parallelism it has available."
+//
+// Blocks are mined once with the paper's 3 threads; validation then runs
+// with 1..8 threads. Speedups are relative to the 3-thread serial miner
+// baseline, like everything else.
+//
+// Usage: bench_validator_threads [--quick] [--samples=N] ...
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "harness.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace concord;
+  using Clock = std::chrono::steady_clock;
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+  const std::size_t txs = config.quick ? 100 : 200;
+  const unsigned thread_axis[] = {1, 2, 3, 4, 6, 8};
+
+  core::MinerConfig miner_config;
+  miner_config.threads = 3;
+  miner_config.nanos_per_gas = config.nanos_per_gas;
+
+  std::printf("Validator thread scaling (%zu transactions, 15%% conflict; miner fixed at 3)\n",
+              txs);
+  std::printf("# %-14s %8s | %s\n", "benchmark", "serial", "validator_speedup by threads 1,2,3,4,6,8");
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    const workload::WorkloadSpec spec{kind, txs, 15, 42};
+
+    // Serial baseline.
+    util::RunningStats serial_stats;
+    for (int r = 0; r < config.warmups + config.samples; ++r) {
+      auto fixture = workload::make_fixture(spec);
+      core::Miner miner(*fixture.world, miner_config);
+      const auto start = Clock::now();
+      (void)miner.execute_serial_baseline(fixture.transactions);
+      const double ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+      if (r >= config.warmups) serial_stats.add(ms);
+    }
+
+    // One reference block.
+    auto mine_fixture = workload::make_fixture(spec);
+    core::Miner miner(*mine_fixture.world, miner_config);
+    const chain::Block block = miner.mine(mine_fixture.transactions, mine_fixture.genesis());
+
+    std::printf("%-16s %7.2fms |", std::string(workload::to_string(kind)).c_str(),
+                serial_stats.mean());
+    for (const unsigned threads : thread_axis) {
+      core::ValidatorConfig validator_config;
+      validator_config.threads = threads;
+      validator_config.nanos_per_gas = config.nanos_per_gas;
+      util::RunningStats stats;
+      for (int r = 0; r < config.warmups + config.samples; ++r) {
+        auto fixture = workload::make_fixture(spec);
+        core::Validator validator(*fixture.world, validator_config);
+        const auto start = Clock::now();
+        const auto report = validator.validate_parallel(block);
+        const double ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+        if (!report.ok) {
+          std::printf("\nREJECTED: %s\n", std::string(core::to_string(report.reason)).c_str());
+          return 1;
+        }
+        if (r >= config.warmups) stats.add(ms);
+      }
+      std::printf(" %5.2fx", serial_stats.mean() / stats.mean());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Cross-contract calls as nested speculative actions: PaymentSplitter
+// calls Token.transfer once per payee. One distribution is deliberately
+// under-funded so a leg reverts mid-call — the nested action aborts, the
+// parent keeps going, and a fresh validator reproduces the exact same
+// partial outcome.
+//
+// Build & run:  ./build/examples/cross_contract
+
+#include <cstdio>
+#include <memory>
+
+#include "contracts/payment_splitter.hpp"
+#include "contracts/token.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "vm/world.hpp"
+
+using namespace concord;
+
+namespace {
+
+const vm::Address kToken = vm::Address::from_u64(10, 0xCC);
+const vm::Address kSplitter = vm::Address::from_u64(11, 0xCC);
+const vm::Address kTreasury = vm::Address::from_u64(1, 0x04);
+const std::vector<vm::Address> kTeam = {
+    vm::Address::from_u64(21, 0x05), vm::Address::from_u64(22, 0x05),
+    vm::Address::from_u64(23, 0x05)};
+
+std::unique_ptr<vm::World> make_world() {
+  auto world = std::make_unique<vm::World>();
+  auto token = std::make_unique<contracts::Token>(kToken, "CCD", kTreasury);
+  // Exactly 2500 tokens: the fourth 900-token distribution (3 × 300)
+  // finds only 2500 − 3·900 = −200... i.e. runs dry on its second leg.
+  token->raw_mint(kSplitter, 2'500);
+  world->contracts().add(std::move(token));
+  world->contracts().add(
+      std::make_unique<contracts::PaymentSplitter>(kSplitter, kToken, kTeam));
+  return world;
+}
+
+chain::Block genesis_of(const vm::World& world) {
+  chain::Block genesis;
+  genesis.header.state_root = world.state_root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  return genesis;
+}
+
+}  // namespace
+
+int main() {
+  auto world = make_world();
+  core::Miner miner(*world, core::MinerConfig{.threads = 3});
+
+  std::vector<chain::Transaction> txs;
+  for (int d = 0; d < 4; ++d) {
+    txs.push_back(contracts::PaymentSplitter::make_distribute_tx(kSplitter, kTreasury, 900));
+  }
+  const chain::Block block = miner.mine(txs, genesis_of(*world));
+
+  std::printf("mined %zu distribute() calls (each fans out 3 nested Token.transfer calls)\n",
+              txs.size());
+  for (std::size_t i = 0; i < block.statuses.size(); ++i) {
+    std::printf("  tx %zu: %s\n", i, std::string(vm::to_string(block.statuses[i])).c_str());
+  }
+
+  auto& token = world->contracts().as<contracts::Token>(kToken);
+  auto& splitter = world->contracts().as<contracts::PaymentSplitter>(kSplitter);
+  std::printf("miner state: splitter balance %lld, failed legs %lld\n",
+              static_cast<long long>(token.raw_balance(kSplitter)),
+              static_cast<long long>(splitter.raw_failed_legs()));
+
+  // Fresh validator node must reproduce the identical partial failure.
+  auto replica = make_world();
+  core::Validator validator(*replica, core::ValidatorConfig{.threads = 3});
+  const auto report = validator.validate_parallel(block);
+  if (!report.ok) {
+    std::printf("REJECTED: %s (%s)\n", std::string(core::to_string(report.reason)).c_str(),
+                report.detail.c_str());
+    return 1;
+  }
+  auto& rtoken = replica->contracts().as<contracts::Token>(kToken);
+  auto& rsplitter = replica->contracts().as<contracts::PaymentSplitter>(kSplitter);
+  std::printf("validator state: splitter balance %lld, failed legs %lld — identical: %s\n",
+              static_cast<long long>(rtoken.raw_balance(kSplitter)),
+              static_cast<long long>(rsplitter.raw_failed_legs()),
+              replica->state_root() == block.header.state_root ? "yes" : "NO");
+  for (const auto& member : kTeam) {
+    std::printf("  payee %s... received %lld\n", member.to_hex().substr(0, 8).c_str(),
+                static_cast<long long>(rtoken.raw_balance(member)));
+  }
+  return 0;
+}

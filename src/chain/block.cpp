@@ -1,0 +1,81 @@
+#include "chain/block.hpp"
+
+#include <span>
+
+namespace concord::chain {
+
+void BlockHeader::encode(util::ByteWriter& w) const {
+  w.put_u64_fixed(number);
+  w.put_raw(parent_hash.bytes);
+  w.put_raw(tx_root.bytes);
+  w.put_raw(state_root.bytes);
+  w.put_raw(schedule_hash.bytes);
+  w.put_raw(status_root.bytes);
+}
+
+BlockHeader BlockHeader::decode(util::ByteReader& r) {
+  BlockHeader h;
+  h.number = r.get_u64_fixed();
+  const auto read_hash = [&r](util::Hash256& out) {
+    const auto raw = r.get_raw(out.bytes.size());
+    std::copy(raw.begin(), raw.end(), out.bytes.begin());
+  };
+  read_hash(h.parent_hash);
+  read_hash(h.tx_root);
+  read_hash(h.state_root);
+  read_hash(h.schedule_hash);
+  read_hash(h.status_root);
+  return h;
+}
+
+util::Hash256 BlockHeader::hash() const {
+  util::ByteWriter w;
+  encode(w);
+  return util::sha256(std::span<const std::uint8_t>(w.bytes()));
+}
+
+util::Hash256 Block::compute_tx_root() const {
+  util::Sha256 h;
+  for (const auto& tx : transactions) h.update(tx.hash().bytes);
+  return h.finish();
+}
+
+util::Hash256 Block::compute_status_root() const {
+  util::ByteWriter w;
+  w.put_varint(statuses.size());
+  for (const vm::TxStatus s : statuses) w.put_u8(static_cast<std::uint8_t>(s));
+  return util::sha256(std::span<const std::uint8_t>(w.bytes()));
+}
+
+bool Block::commitments_consistent() const {
+  return header.tx_root == compute_tx_root() && header.status_root == compute_status_root() &&
+         header.schedule_hash == schedule.hash() && statuses.size() == transactions.size();
+}
+
+void Block::encode(util::ByteWriter& w) const {
+  header.encode(w);
+  w.put_varint(transactions.size());
+  for (const auto& tx : transactions) tx.encode(w);
+  w.put_varint(statuses.size());
+  for (const vm::TxStatus s : statuses) w.put_u8(static_cast<std::uint8_t>(s));
+  schedule.encode(w);
+}
+
+Block Block::decode(util::ByteReader& r) {
+  Block b;
+  b.header = BlockHeader::decode(r);
+  const std::uint64_t nt = r.get_count(/*min_item_bytes=*/54);  // Two addresses + selector + framing.
+  b.transactions.reserve(nt);
+  for (std::uint64_t i = 0; i < nt; ++i) b.transactions.push_back(Transaction::decode(r));
+  const std::uint64_t ns = r.get_count(/*min_item_bytes=*/1);
+  b.statuses.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    const std::uint8_t s = r.get_u8();
+    if (s > 2) throw util::DecodeError("invalid tx status");
+    b.statuses.push_back(static_cast<vm::TxStatus>(s));
+  }
+  b.schedule = BlockSchedule::decode(r);
+  return b;
+}
+
+}  // namespace concord::chain

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/schedule.hpp"
+#include "chain/transaction.hpp"
+#include "util/bytes.hpp"
+#include "util/sha256.hpp"
+#include "vm/runner.hpp"
+
+namespace concord::chain {
+
+/// Block header: hash-links to the parent and commits to the
+/// transactions, their outcomes, the resulting state and the published
+/// schedule. "Ethereum blocks thus contain both transactions' smart
+/// contracts and the final state produced by executing those contracts"
+/// (paper §2) — plus, under this proposal, the §4 scheduling metadata.
+struct BlockHeader {
+  std::uint64_t number = 0;
+  util::Hash256 parent_hash;
+  util::Hash256 tx_root;        ///< Digest over the transaction list.
+  util::Hash256 state_root;     ///< World state after executing the block.
+  util::Hash256 schedule_hash;  ///< Digest of the published BlockSchedule.
+  util::Hash256 status_root;    ///< Digest over the per-tx status vector.
+
+  friend bool operator==(const BlockHeader&, const BlockHeader&) = default;
+
+  void encode(util::ByteWriter& w) const;
+  [[nodiscard]] static BlockHeader decode(util::ByteReader& r);
+
+  /// The block hash: digest of the encoded header.
+  [[nodiscard]] util::Hash256 hash() const;
+};
+
+/// A full block: header, transactions, their deterministic outcomes, and
+/// the miner's published schedule.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+  std::vector<vm::TxStatus> statuses;
+  BlockSchedule schedule;
+
+  friend bool operator==(const Block&, const Block&) = default;
+
+  [[nodiscard]] util::Hash256 hash() const { return header.hash(); }
+
+  /// Digest over the transaction list (order-sensitive).
+  [[nodiscard]] util::Hash256 compute_tx_root() const;
+
+  /// Digest over the status vector.
+  [[nodiscard]] util::Hash256 compute_status_root() const;
+
+  /// True when the header's commitments (tx root, schedule hash, status
+  /// root) match the body. Does NOT re-execute anything; that is the
+  /// Validator's job.
+  [[nodiscard]] bool commitments_consistent() const;
+
+  void encode(util::ByteWriter& w) const;
+  [[nodiscard]] static Block decode(util::ByteReader& r);
+};
+
+}  // namespace concord::chain

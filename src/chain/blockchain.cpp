@@ -1,0 +1,39 @@
+#include "chain/blockchain.hpp"
+
+namespace concord::chain {
+
+Blockchain::Blockchain(util::Hash256 genesis_state_root) {
+  Block genesis;
+  genesis.header.number = 0;
+  genesis.header.state_root = genesis_state_root;
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  blocks_.push_back(std::move(genesis));
+}
+
+void Blockchain::append(Block block) {
+  if (block.header.number != blocks_.size()) {
+    throw ChainError("block number " + std::to_string(block.header.number) +
+                     " does not extend height " + std::to_string(height()));
+  }
+  if (block.header.parent_hash != tip().hash()) {
+    throw ChainError("parent hash mismatch at block " + std::to_string(block.header.number));
+  }
+  if (!block.commitments_consistent()) {
+    throw ChainError("header commitments do not match block body");
+  }
+  blocks_.push_back(std::move(block));
+}
+
+bool Blockchain::verify_links() const {
+  for (std::size_t i = 1; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.header.number != i) return false;
+    if (b.header.parent_hash != blocks_[i - 1].hash()) return false;
+    if (!b.commitments_consistent()) return false;
+  }
+  return true;
+}
+
+}  // namespace concord::chain

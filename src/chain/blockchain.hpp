@@ -1,0 +1,42 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace concord::chain {
+
+/// Raised when a block fails the structural checks on append.
+class ChainError : public std::runtime_error {
+ public:
+  explicit ChainError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The distributed ledger: "a publicly-readable tamper-proof record of a
+/// sequence of events... Each block contains a cryptographic hash of the
+/// previous block" (paper §1). This class maintains the hash links and
+/// header commitments; *semantic* validation (re-executing a block and
+/// checking its state root and schedule) is the core::Validator's job.
+class Blockchain {
+ public:
+  /// Starts a chain whose genesis records `genesis_state_root`.
+  explicit Blockchain(util::Hash256 genesis_state_root);
+
+  /// Appends a block after structural validation: correct height, correct
+  /// parent hash, internally consistent commitments. Throws ChainError.
+  void append(Block block);
+
+  [[nodiscard]] const Block& tip() const { return blocks_.back(); }
+  [[nodiscard]] const Block& at(std::uint64_t number) const { return blocks_.at(number); }
+  [[nodiscard]] std::uint64_t height() const noexcept { return blocks_.size() - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+
+  /// Re-checks every hash link and commitment from genesis to tip.
+  [[nodiscard]] bool verify_links() const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace concord::chain

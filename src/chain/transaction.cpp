@@ -1,0 +1,33 @@
+#include "chain/transaction.hpp"
+
+namespace concord::chain {
+
+void Transaction::encode(util::ByteWriter& w) const {
+  w.put_raw(contract.bytes);
+  w.put_raw(sender.bytes);
+  w.put_u32_fixed(selector);
+  w.put_bytes(args);
+  w.put_u64_fixed(static_cast<std::uint64_t>(value));
+  w.put_varint(gas_limit);
+}
+
+Transaction Transaction::decode(util::ByteReader& r) {
+  Transaction tx;
+  auto contract_bytes = r.get_raw(tx.contract.bytes.size());
+  std::copy(contract_bytes.begin(), contract_bytes.end(), tx.contract.bytes.begin());
+  auto sender_bytes = r.get_raw(tx.sender.bytes.size());
+  std::copy(sender_bytes.begin(), sender_bytes.end(), tx.sender.bytes.begin());
+  tx.selector = r.get_u32_fixed();
+  tx.args = r.get_bytes();
+  tx.value = static_cast<vm::Amount>(r.get_u64_fixed());
+  tx.gas_limit = r.get_varint();
+  return tx;
+}
+
+util::Hash256 Transaction::hash() const {
+  util::ByteWriter w;
+  encode(w);
+  return util::sha256(std::span<const std::uint8_t>(w.bytes()));
+}
+
+}  // namespace concord::chain

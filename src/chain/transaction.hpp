@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/sha256.hpp"
+#include "vm/contract.hpp"
+#include "vm/gas.hpp"
+#include "vm/msg.hpp"
+#include "vm/types.hpp"
+
+namespace concord::chain {
+
+/// One smart-contract invocation as recorded in a block: who calls which
+/// function of which contract with what arguments and gas allowance.
+/// (Following the paper's terminology, a "transaction" is a client
+/// request, not a synchronization unit — the synchronization unit is the
+/// SpeculativeAction a miner wraps around it.)
+struct Transaction {
+  vm::Address contract;
+  vm::Address sender;
+  vm::Selector selector = 0;
+  std::vector<std::uint8_t> args;
+  vm::Amount value = 0;
+  std::uint64_t gas_limit = vm::gas::kDefaultTxGasLimit;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+
+  /// The VM call this transaction performs (args viewed, not copied).
+  [[nodiscard]] vm::Call to_call() const {
+    return vm::Call{selector, std::span<const std::uint8_t>(args)};
+  }
+
+  /// The outermost msg frame.
+  [[nodiscard]] vm::MsgContext to_msg() const {
+    return vm::MsgContext{.sender = sender, .receiver = contract, .value = value};
+  }
+
+  void encode(util::ByteWriter& w) const;
+  [[nodiscard]] static Transaction decode(util::ByteReader& r);
+
+  /// Digest of the canonical encoding (used in the block's tx root).
+  [[nodiscard]] util::Hash256 hash() const;
+};
+
+/// Convenience builder used by contracts' make_*_tx helpers.
+class TxBuilder {
+ public:
+  TxBuilder(vm::Address contract, vm::Address sender, vm::Selector selector)
+      : contract_(contract), sender_(sender), selector_(selector) {}
+
+  TxBuilder& value(vm::Amount v) {
+    value_ = v;
+    return *this;
+  }
+  TxBuilder& gas_limit(std::uint64_t g) {
+    gas_ = g;
+    return *this;
+  }
+  TxBuilder& arg_u64(std::uint64_t v) {
+    args_.put_varint(v);
+    return *this;
+  }
+  TxBuilder& arg_address(const vm::Address& a) {
+    args_.put_raw(a.bytes);
+    return *this;
+  }
+  TxBuilder& arg_string(std::string_view s) {
+    args_.put_string(s);
+    return *this;
+  }
+
+  /// Consumes the builder's argument buffer; call once, last.
+  [[nodiscard]] Transaction build() {
+    return Transaction{contract_, sender_, selector_, std::move(args_).take(), value_, gas_};
+  }
+
+ private:
+  vm::Address contract_;
+  vm::Address sender_;
+  vm::Selector selector_;
+  util::ByteWriter args_;
+  vm::Amount value_ = 0;
+  std::uint64_t gas_ = vm::gas::kDefaultTxGasLimit;
+};
+
+}  // namespace concord::chain

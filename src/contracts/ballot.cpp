@@ -1,0 +1,174 @@
+#include "contracts/ballot.hpp"
+
+#include "util/bytes.hpp"
+#include "vm/gas.hpp"
+
+namespace concord::contracts {
+
+namespace {
+vm::Address read_address(util::ByteReader& r) {
+  vm::Address a;
+  const auto raw = r.get_raw(a.bytes.size());
+  std::copy(raw.begin(), raw.end(), a.bytes.begin());
+  return a;
+}
+}  // namespace
+
+Ballot::Ballot(vm::Address address, vm::Address chairperson,
+               std::vector<std::string> proposal_names)
+    : Contract(address, "Ballot"),
+      chairperson_(chairperson),
+      names_(std::move(proposal_names)),
+      voters_(field_space("voters")),
+      vote_counts_(field_space("voteCounts")) {
+  if (names_.empty()) throw vm::BadCall("Ballot needs at least one proposal");
+  voters_.raw_put(chairperson_, Voter{.weight = 1});
+}
+
+void Ballot::execute(const vm::Call& call, vm::ExecContext& ctx) {
+  try {
+    util::ByteReader args(call.args);
+    switch (call.selector) {
+      case kGiveRightToVote:
+        give_right_to_vote(ctx, read_address(args));
+        return;
+      case kDelegate:
+        delegate(ctx, read_address(args));
+        return;
+      case kVote:
+        vote(ctx, args.get_varint());
+        return;
+      case kWinningProposal:
+        (void)winning_proposal(ctx);
+        return;
+      case kWinnerName:
+        (void)winner_name(ctx);
+        return;
+      default:
+        throw vm::BadCall("Ballot: unknown selector");
+    }
+  } catch (const util::DecodeError& e) {
+    throw vm::BadCall(std::string("Ballot: malformed arguments: ") + e.what());
+  }
+}
+
+void Ballot::give_right_to_vote(vm::ExecContext& ctx, const vm::Address& voter) {
+  ctx.gas().charge(kGiveRightComputeGas * vm::gas::kStep);
+  // "if (msg.sender != chairperson || voters[voter].voted) throw;"
+  if (ctx.msg().sender != chairperson_) throw vm::RevertError("only chairperson");
+  if (voters_.get_or(ctx, voter, Voter{}).voted) throw vm::RevertError("voter already voted");
+  voters_.update(ctx, voter, Voter{}, [](Voter& v) { v.weight = 1; });
+}
+
+void Ballot::delegate(vm::ExecContext& ctx, vm::Address to) {
+  const vm::Address self = ctx.msg().sender;
+  const Voter sender = voters_.get_for_update(ctx, self).value_or(Voter{});
+  if (sender.voted) throw vm::RevertError("already voted");
+  ctx.gas().charge(kDelegateComputeGas * vm::gas::kStep);
+
+  // "Forward the delegation as long as `to` also delegated." Each hop is
+  // a charged storage read, so runaway chains exhaust gas exactly as the
+  // Appendix A comment warns.
+  for (;;) {
+    const Voter target = voters_.get_or(ctx, to, Voter{});
+    if (target.delegate_to.is_zero() || target.delegate_to == self) break;
+    to = target.delegate_to;
+  }
+  if (to == self) throw vm::RevertError("delegation loop");
+
+  voters_.update(ctx, self, Voter{}, [&](Voter& v) {
+    v.voted = true;
+    v.delegate_to = to;
+  });
+  const Voter delegate_voter = voters_.get_or(ctx, to, Voter{});
+  if (delegate_voter.voted) {
+    // "If the delegate already voted, directly add to the number of votes."
+    vote_counts_.add(ctx, delegate_voter.vote, sender.weight);
+  } else {
+    // "If the delegate did not vote yet, add to her weight."
+    voters_.update(ctx, to, Voter{}, [&](Voter& v) { v.weight += sender.weight; });
+  }
+}
+
+void Ballot::vote(vm::ExecContext& ctx, std::uint64_t proposal) {
+  const vm::Address self = ctx.msg().sender;
+  // For-update: a successful vote always writes the voter entry it just
+  // read. This makes a double-vote pair queue instead of deadlock — with
+  // the same final outcome (the second observes voted == true and
+  // reverts).
+  const Voter sender = voters_.get_for_update(ctx, self).value_or(Voter{});
+  if (sender.voted) throw vm::RevertError("already voted");
+  ctx.gas().charge(kVoteComputeGas * vm::gas::kStep);
+
+  voters_.update(ctx, self, Voter{}, [&](Voter& v) {
+    v.voted = true;
+    v.vote = proposal;
+  });
+  // "If proposal is out of the range of the array, this will throw
+  // automatically and revert all changes."
+  if (proposal >= names_.size()) throw vm::RevertError("proposal out of range");
+  vote_counts_.add(ctx, proposal, sender.weight);
+}
+
+std::uint64_t Ballot::winning_proposal(vm::ExecContext& ctx) const {
+  ctx.gas().charge(kTallyComputeGas * vm::gas::kStep);
+  std::uint64_t winner = 0;
+  std::int64_t winning_count = 0;
+  for (std::uint64_t p = 0; p < names_.size(); ++p) {
+    const std::int64_t count = vote_counts_.get(ctx, p);
+    if (count > winning_count) {
+      winning_count = count;
+      winner = p;
+    }
+  }
+  return winner;
+}
+
+std::string Ballot::winner_name(vm::ExecContext& ctx) const {
+  return names_[winning_proposal(ctx)];
+}
+
+void Ballot::raw_register_voter(const vm::Address& voter, std::int64_t weight) {
+  voters_.raw_put(voter, Voter{.weight = weight});
+}
+
+Ballot::Voter Ballot::raw_voter(const vm::Address& voter) const {
+  return voters_.raw_get(voter).value_or(Voter{});
+}
+
+std::int64_t Ballot::raw_vote_count(std::uint64_t proposal) const {
+  return vote_counts_.raw_get(proposal);
+}
+
+void Ballot::hash_state(vm::StateHasher& hasher) const {
+  hasher.begin_section("chairperson");
+  hasher.put_bytes(chairperson_.bytes);
+  hasher.begin_section("proposals");
+  hasher.put_u64(names_.size());
+  for (const auto& name : names_) hasher.put_bytes(vm::encoded_bytes(name));
+  voters_.hash_state(hasher, "voters");
+  vote_counts_.hash_state(hasher, "voteCounts");
+}
+
+chain::Transaction Ballot::make_vote_tx(const vm::Address& contract, const vm::Address& sender,
+                                        std::uint64_t proposal) {
+  return chain::TxBuilder(contract, sender, kVote).arg_u64(proposal).build();
+}
+
+chain::Transaction Ballot::make_delegate_tx(const vm::Address& contract,
+                                            const vm::Address& sender, const vm::Address& to) {
+  return chain::TxBuilder(contract, sender, kDelegate).arg_address(to).build();
+}
+
+chain::Transaction Ballot::make_give_right_tx(const vm::Address& contract,
+                                              const vm::Address& chairperson,
+                                              const vm::Address& voter) {
+  return chain::TxBuilder(contract, chairperson, kGiveRightToVote).arg_address(voter).build();
+}
+
+chain::Transaction Ballot::make_winning_proposal_tx(const vm::Address& contract,
+                                                    const vm::Address& sender) {
+  return chain::TxBuilder(contract, sender, kWinningProposal).build();
+}
+
+}  // namespace concord::contracts

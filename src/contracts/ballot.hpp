@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "vm/boosted_counter_map.hpp"
+#include "vm/boosted_map.hpp"
+#include "vm/contract.hpp"
+#include "vm/errors.hpp"
+
+namespace concord::contracts {
+
+/// The Ballot voting contract from the Solidity documentation, translated
+/// function-for-function from the paper's Appendix A.
+///
+/// Storage model (and its conflict structure, which drives the Ballot
+/// benchmark curves):
+///  - `voters`: boosted map Address → Voter. vote()/delegate() read and
+///    then write the sender's own entry, so two transactions conflict on
+///    it only when they come from the *same* voter (the benchmark's
+///    double-vote conflicts).
+///  - vote counts: a boosted counter map (proposal index → votes).
+///    `proposals[p].voteCount += sender.weight` is a commutative
+///    increment, so a whole block voting for the same proposal still
+///    mines in parallel.
+///  - chairperson and proposal names are fixed at construction (genesis)
+///    and therefore need no boosting — constants cannot conflict.
+class Ballot final : public vm::Contract {
+ public:
+  static constexpr vm::Selector kGiveRightToVote = 1;
+  static constexpr vm::Selector kDelegate = 2;
+  static constexpr vm::Selector kVote = 3;
+  static constexpr vm::Selector kWinningProposal = 4;
+  static constexpr vm::Selector kWinnerName = 5;
+
+  /// Appendix A's Voter struct. A plain value: map updates copy it, which
+  /// is exactly how the paper's prototype treats Solidity structs
+  /// ("solidity struct types were translated into immutable case classes").
+  struct Voter {
+    std::int64_t weight = 0;
+    bool voted = false;
+    vm::Address delegate_to;  ///< Appendix A's `delegate` field.
+    std::uint64_t vote = 0;
+
+    friend bool operator==(const Voter&, const Voter&) = default;
+
+    void encode(util::ByteWriter& w) const {
+      vm::encode_value(w, weight);
+      vm::encode_value(w, voted);
+      vm::encode_value(w, delegate_to);
+      vm::encode_value(w, vote);
+    }
+  };
+
+  /// Deploys the ballot: the chairperson gets weight 1, as in Appendix A's
+  /// constructor.
+  Ballot(vm::Address address, vm::Address chairperson, std::vector<std::string> proposal_names);
+
+  void execute(const vm::Call& call, vm::ExecContext& ctx) override;
+  void hash_state(vm::StateHasher& hasher) const override;
+
+  // --- Typed API (Appendix A functions) --------------------------------
+
+  /// "Give voter the right to vote on this ballot. May only be called by
+  /// chairperson."
+  void give_right_to_vote(vm::ExecContext& ctx, const vm::Address& voter);
+
+  /// "Delegate your vote to the voter `to`", following delegation chains
+  /// and reverting on loops.
+  void delegate(vm::ExecContext& ctx, vm::Address to);
+
+  /// "Give your vote (including votes delegated to you) to proposal
+  /// proposals[proposal]." Reverts on double votes — the benchmark's
+  /// conflict source.
+  void vote(vm::ExecContext& ctx, std::uint64_t proposal);
+
+  /// "Computes the winning proposal taking all previous votes into
+  /// account."
+  [[nodiscard]] std::uint64_t winning_proposal(vm::ExecContext& ctx) const;
+
+  /// Returns the name of the winner.
+  [[nodiscard]] std::string winner_name(vm::ExecContext& ctx) const;
+
+  // --- Genesis & inspection (non-transactional) ------------------------
+
+  /// Registers a voter with the given weight directly in genesis state.
+  void raw_register_voter(const vm::Address& voter, std::int64_t weight);
+
+  [[nodiscard]] Voter raw_voter(const vm::Address& voter) const;
+  [[nodiscard]] std::int64_t raw_vote_count(std::uint64_t proposal) const;
+  [[nodiscard]] std::size_t proposal_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& proposal_names() const noexcept { return names_; }
+  [[nodiscard]] const vm::Address& chairperson() const noexcept { return chairperson_; }
+
+  // --- Transaction builders --------------------------------------------
+
+  [[nodiscard]] static chain::Transaction make_vote_tx(const vm::Address& contract,
+                                                       const vm::Address& sender,
+                                                       std::uint64_t proposal);
+  [[nodiscard]] static chain::Transaction make_delegate_tx(const vm::Address& contract,
+                                                           const vm::Address& sender,
+                                                           const vm::Address& to);
+  [[nodiscard]] static chain::Transaction make_give_right_tx(const vm::Address& contract,
+                                                             const vm::Address& chairperson,
+                                                             const vm::Address& voter);
+  [[nodiscard]] static chain::Transaction make_winning_proposal_tx(const vm::Address& contract,
+                                                                   const vm::Address& sender);
+
+ private:
+  /// Modeled bytecode cost of each function body (see GasMeter).
+  static constexpr std::uint64_t kVoteComputeGas = 4'000;
+  static constexpr std::uint64_t kDelegateComputeGas = 3'000;
+  static constexpr std::uint64_t kGiveRightComputeGas = 2'000;
+  static constexpr std::uint64_t kTallyComputeGas = 2'000;
+
+  const vm::Address chairperson_;
+  const std::vector<std::string> names_;  ///< Immutable after genesis.
+  vm::BoostedMap<vm::Address, Voter> voters_;
+  vm::BoostedCounterMap<std::uint64_t> vote_counts_;
+};
+
+}  // namespace concord::contracts

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "vm/boosted_counter_map.hpp"
+#include "vm/boosted_map.hpp"
+#include "vm/contract.hpp"
+#include "vm/errors.hpp"
+
+namespace concord::contracts {
+
+/// EtherDoc, the "Proof of Existence" DAPP the paper benchmarks (§7.1):
+/// "tracks per-document metadata including hashcode [and] owner. It
+/// permits new document creation, metadata retrieval, and ownership
+/// transfer."
+///
+/// Conflict structure:
+///  - exists()/get() are pure reads of one document slot — a block of
+///    lookups on distinct documents is embarrassingly parallel, and
+///    concurrent lookups of the *same* document also commute (shared READ
+///    mode).
+///  - transferOwnership() writes the document slot and appends to the new
+///    owner's document list. The benchmark transfers every conflicting
+///    document to the *contract creator*, so all conflicting transactions
+///    serialize on the creator's list — matching the paper's observation
+///    that EtherDoc's conflicts "touch the same shared data" and cause the
+///    fastest speedup drop-off.
+class EtherDoc final : public vm::Contract {
+ public:
+  static constexpr vm::Selector kCreateDocument = 1;
+  static constexpr vm::Selector kExists = 2;
+  static constexpr vm::Selector kTransferOwnership = 3;
+  static constexpr vm::Selector kGetDocument = 4;
+
+  /// Per-document metadata.
+  struct Doc {
+    vm::Address owner;
+    std::uint64_t version = 0;  ///< Bumped on every ownership transfer.
+
+    friend bool operator==(const Doc&, const Doc&) = default;
+
+    void encode(util::ByteWriter& w) const {
+      vm::encode_value(w, owner);
+      vm::encode_value(w, version);
+    }
+  };
+
+  EtherDoc(vm::Address address, vm::Address creator);
+
+  void execute(const vm::Call& call, vm::ExecContext& ctx) override;
+  void hash_state(vm::StateHasher& hasher) const override;
+
+  // --- Typed API --------------------------------------------------------
+
+  /// Registers a new document owned by the caller; reverts if the
+  /// hashcode is already registered.
+  void create_document(vm::ExecContext& ctx, std::uint64_t hashcode);
+
+  /// Proof-of-existence check — the benchmark's read transaction.
+  [[nodiscard]] bool exists_document(vm::ExecContext& ctx, std::uint64_t hashcode) const;
+
+  /// Metadata retrieval; reverts when the document does not exist.
+  [[nodiscard]] Doc get_document(vm::ExecContext& ctx, std::uint64_t hashcode) const;
+
+  /// Transfers ownership; only the current owner may call. The benchmark's
+  /// conflict transaction (all transfers target the creator).
+  void transfer_ownership(vm::ExecContext& ctx, std::uint64_t hashcode, const vm::Address& to);
+
+  // --- Genesis & inspection --------------------------------------------
+
+  void raw_add_document(std::uint64_t hashcode, const vm::Address& owner);
+  [[nodiscard]] Doc raw_document(std::uint64_t hashcode) const;
+  [[nodiscard]] bool raw_exists(std::uint64_t hashcode) const;
+  [[nodiscard]] std::int64_t raw_owner_count(const vm::Address& owner) const {
+    return owner_counts_.raw_get(owner);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> raw_owner_docs(const vm::Address& owner) const {
+    return owner_docs_.raw_get(owner).value_or(std::vector<std::uint64_t>{});
+  }
+  [[nodiscard]] const vm::Address& creator() const noexcept { return creator_; }
+
+  // --- Transaction builders --------------------------------------------
+
+  [[nodiscard]] static chain::Transaction make_create_tx(const vm::Address& contract,
+                                                         const vm::Address& sender,
+                                                         std::uint64_t hashcode);
+  [[nodiscard]] static chain::Transaction make_exists_tx(const vm::Address& contract,
+                                                         const vm::Address& sender,
+                                                         std::uint64_t hashcode);
+  [[nodiscard]] static chain::Transaction make_transfer_tx(const vm::Address& contract,
+                                                           const vm::Address& sender,
+                                                           std::uint64_t hashcode,
+                                                           const vm::Address& to);
+
+ private:
+  static constexpr std::uint64_t kCreateComputeGas = 3'000;
+  static constexpr std::uint64_t kExistsComputeGas = 4'000;
+  static constexpr std::uint64_t kTransferComputeGas = 3'500;
+  static constexpr std::uint64_t kGetComputeGas = 2'000;
+
+  const vm::Address creator_;  ///< Immutable after genesis.
+  vm::BoostedMap<std::uint64_t, Doc> documents_;
+  vm::BoostedCounterMap<vm::Address> owner_counts_;
+  vm::BoostedMap<vm::Address, std::vector<std::uint64_t>> owner_docs_;
+};
+
+}  // namespace concord::contracts

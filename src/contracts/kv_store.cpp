@@ -1,0 +1,101 @@
+#include "contracts/kv_store.hpp"
+
+#include "util/bytes.hpp"
+#include "vm/gas.hpp"
+
+namespace concord::contracts {
+
+KvStore::KvStore(vm::Address address, Backend backend)
+    : Contract(address, "KvStore"),
+      backend_(backend),
+      // Both backends share one lock space: the conflict structure (and
+      // therefore the published schedules) are identical by construction.
+      eager_(field_space("entries")),
+      lazy_(field_space("entries")) {}
+
+void KvStore::execute(const vm::Call& call, vm::ExecContext& ctx) {
+  try {
+    util::ByteReader args(call.args);
+    switch (call.selector) {
+      case kPut: {
+        const std::uint64_t key = args.get_varint();
+        put(ctx, key, static_cast<std::int64_t>(args.get_varint()));
+        return;
+      }
+      case kGet:
+        (void)get(ctx, args.get_varint());
+        return;
+      case kErase:
+        erase(ctx, args.get_varint());
+        return;
+      default:
+        throw vm::BadCall("KvStore: unknown selector");
+    }
+  } catch (const util::DecodeError& e) {
+    throw vm::BadCall(std::string("KvStore: malformed arguments: ") + e.what());
+  }
+}
+
+void KvStore::put(vm::ExecContext& ctx, std::uint64_t key, std::int64_t value) {
+  ctx.gas().charge(kOpComputeGas * vm::gas::kStep);
+  const std::int64_t current = backend_ == Backend::kEager
+                                   ? eager_.get_for_update(ctx, key).value_or(0)
+                                   : lazy_.get_for_update(ctx, key).value_or(0);
+  if (current == kTombstone) throw vm::RevertError("key is immutable");
+  if (backend_ == Backend::kEager) {
+    eager_.put(ctx, key, value);
+  } else {
+    lazy_.put(ctx, key, value);
+  }
+}
+
+std::int64_t KvStore::get(vm::ExecContext& ctx, std::uint64_t key) const {
+  ctx.gas().charge(kOpComputeGas * vm::gas::kStep);
+  return backend_ == Backend::kEager ? eager_.get(ctx, key).value_or(0)
+                                     : lazy_.get(ctx, key).value_or(0);
+}
+
+void KvStore::erase(vm::ExecContext& ctx, std::uint64_t key) {
+  ctx.gas().charge(kOpComputeGas * vm::gas::kStep);
+  if (backend_ == Backend::kEager) {
+    (void)eager_.erase(ctx, key);
+  } else {
+    (void)lazy_.erase(ctx, key);
+  }
+}
+
+void KvStore::raw_put(std::uint64_t key, std::int64_t value) {
+  if (backend_ == Backend::kEager) {
+    eager_.raw_put(key, value);
+  } else {
+    lazy_.raw_put(key, value);
+  }
+}
+
+std::int64_t KvStore::raw_get(std::uint64_t key) const {
+  return backend_ == Backend::kEager ? eager_.raw_get(key).value_or(0)
+                                     : lazy_.raw_get(key).value_or(0);
+}
+
+void KvStore::hash_state(vm::StateHasher& hasher) const {
+  if (backend_ == Backend::kEager) {
+    eager_.hash_state(hasher, "entries");
+  } else {
+    lazy_.hash_state(hasher, "entries");
+  }
+}
+
+chain::Transaction KvStore::make_put_tx(const vm::Address& contract, const vm::Address& sender,
+                                        std::uint64_t key, std::int64_t value) {
+  return chain::TxBuilder(contract, sender, kPut)
+      .arg_u64(key)
+      .arg_u64(static_cast<std::uint64_t>(value))
+      .build();
+}
+
+chain::Transaction KvStore::make_get_tx(const vm::Address& contract, const vm::Address& sender,
+                                        std::uint64_t key) {
+  return chain::TxBuilder(contract, sender, kGet).arg_u64(key).build();
+}
+
+}  // namespace concord::contracts

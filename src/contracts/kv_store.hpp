@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "chain/transaction.hpp"
+#include "vm/boosted_map.hpp"
+#include "vm/contract.hpp"
+#include "vm/errors.hpp"
+#include "vm/lazy_map.hpp"
+
+namespace concord::contracts {
+
+/// A plain key-value store contract with a switchable version-management
+/// backend: eager (BoostedMap: apply + inverse log) or lazy (LazyMap:
+/// buffer + apply-on-commit). Both present identical semantics and
+/// identical abstract-lock footprints, so a block mined against one
+/// backend validates against the other — which is exactly what makes
+/// `bench_ablation_lazy` a clean apples-to-apples measurement of the
+/// paper's §3 eager-vs-lazy design choice.
+///
+/// The put path intentionally does read-check-write (reject overwriting a
+/// "locked" tombstone value) so that hot-key workloads produce genuine
+/// read-write contention rather than blind stores.
+class KvStore final : public vm::Contract {
+ public:
+  static constexpr vm::Selector kPut = 1;
+  static constexpr vm::Selector kGet = 2;
+  static constexpr vm::Selector kErase = 3;
+
+  enum class Backend : std::uint8_t { kEager, kLazy };
+
+  KvStore(vm::Address address, Backend backend);
+
+  void execute(const vm::Call& call, vm::ExecContext& ctx) override;
+  void hash_state(vm::StateHasher& hasher) const override;
+
+  // --- Typed API --------------------------------------------------------
+
+  /// Binds key → value; reverts when the key holds the reserved tombstone.
+  void put(vm::ExecContext& ctx, std::uint64_t key, std::int64_t value);
+
+  [[nodiscard]] std::int64_t get(vm::ExecContext& ctx, std::uint64_t key) const;
+
+  void erase(vm::ExecContext& ctx, std::uint64_t key);
+
+  // --- Genesis & inspection --------------------------------------------
+  void raw_put(std::uint64_t key, std::int64_t value);
+  [[nodiscard]] std::int64_t raw_get(std::uint64_t key) const;
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
+  /// The value that marks a key as immutable (puts against it revert).
+  static constexpr std::int64_t kTombstone = -1;
+
+  // --- Transaction builders --------------------------------------------
+  [[nodiscard]] static chain::Transaction make_put_tx(const vm::Address& contract,
+                                                      const vm::Address& sender,
+                                                      std::uint64_t key, std::int64_t value);
+  [[nodiscard]] static chain::Transaction make_get_tx(const vm::Address& contract,
+                                                      const vm::Address& sender,
+                                                      std::uint64_t key);
+
+ private:
+  static constexpr std::uint64_t kOpComputeGas = 3'000;
+
+  const Backend backend_;
+  vm::BoostedMap<std::uint64_t, std::int64_t> eager_;
+  vm::LazyMap<std::uint64_t, std::int64_t> lazy_;
+};
+
+}  // namespace concord::contracts

@@ -1,0 +1,73 @@
+#include "contracts/payment_splitter.hpp"
+
+#include "contracts/token.hpp"
+#include "util/bytes.hpp"
+#include "vm/gas.hpp"
+#include "vm/world.hpp"
+
+namespace concord::contracts {
+
+PaymentSplitter::PaymentSplitter(vm::Address address, vm::Address token,
+                                 std::vector<vm::Address> payees)
+    : Contract(address, "PaymentSplitter"),
+      token_(token),
+      payees_(std::move(payees)),
+      stats_(field_space("stats")) {
+  if (payees_.empty()) throw vm::BadCall("PaymentSplitter needs at least one payee");
+}
+
+void PaymentSplitter::execute(const vm::Call& call, vm::ExecContext& ctx) {
+  try {
+    util::ByteReader args(call.args);
+    switch (call.selector) {
+      case kDistribute:
+        distribute(ctx, static_cast<vm::Amount>(args.get_varint()));
+        return;
+      default:
+        throw vm::BadCall("PaymentSplitter: unknown selector");
+    }
+  } catch (const util::DecodeError& e) {
+    throw vm::BadCall(std::string("PaymentSplitter: malformed arguments: ") + e.what());
+  }
+}
+
+void PaymentSplitter::distribute(vm::ExecContext& ctx, vm::Amount amount) {
+  ctx.gas().charge(kDistributeComputeGas * vm::gas::kStep);
+  const vm::Amount share = amount / static_cast<vm::Amount>(payees_.size());
+  if (share <= 0) throw vm::RevertError("amount too small to split");
+
+  auto& token = ctx.world().contracts().as<Token>(token_);
+  std::int64_t failed = 0;
+  for (const vm::Address& payee : payees_) {
+    // Each leg is a nested action: the Token sees msg.sender == the
+    // splitter contract; a reverting leg undoes only itself.
+    const bool ok = ctx.nested_call(token_, 0, [&](vm::ExecContext& inner) {
+      token.transfer(inner, payee, share);
+    });
+    if (!ok) ++failed;
+  }
+  if (failed == static_cast<std::int64_t>(payees_.size())) {
+    throw vm::RevertError("every distribution leg failed");
+  }
+  stats_.add(ctx, kDistributions, 1);
+  if (failed > 0) stats_.add(ctx, kFailedLegs, failed);
+}
+
+void PaymentSplitter::hash_state(vm::StateHasher& hasher) const {
+  hasher.begin_section("token");
+  hasher.put_bytes(token_.bytes);
+  hasher.begin_section("payees");
+  hasher.put_u64(payees_.size());
+  for (const auto& payee : payees_) hasher.put_bytes(payee.bytes);
+  stats_.hash_state(hasher, "stats");
+}
+
+chain::Transaction PaymentSplitter::make_distribute_tx(const vm::Address& contract,
+                                                       const vm::Address& sender,
+                                                       vm::Amount amount) {
+  return chain::TxBuilder(contract, sender, kDistribute)
+      .arg_u64(static_cast<std::uint64_t>(amount))
+      .build();
+}
+
+}  // namespace concord::contracts

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "vm/boosted_counter_map.hpp"
+#include "vm/contract.hpp"
+#include "vm/errors.hpp"
+
+namespace concord::contracts {
+
+/// Splits incoming token payments across a fixed set of payees by calling
+/// into a Token contract — the repository's exercise of the paper's
+/// nested-speculative-action machinery ("When one smart contract calls
+/// another, the run-time system creates a nested speculative action,
+/// which can commit or abort independently of its parent").
+///
+/// distribute(amount) makes one nested Token.transfer call per payee. A
+/// failing leg (e.g. the splitter's token balance running dry mid-way)
+/// aborts only that nested action; the splitter records the failure and
+/// carries on — exactly the child-abort-does-not-abort-parent semantics.
+class PaymentSplitter final : public vm::Contract {
+ public:
+  static constexpr vm::Selector kDistribute = 1;
+
+  /// `token` is the Token contract payments are denominated in; `payees`
+  /// the fixed recipient list (equal shares).
+  PaymentSplitter(vm::Address address, vm::Address token, std::vector<vm::Address> payees);
+
+  void execute(const vm::Call& call, vm::ExecContext& ctx) override;
+  void hash_state(vm::StateHasher& hasher) const override;
+
+  /// Pays each payee `amount / payees` tokens from the splitter's own
+  /// token balance via nested calls. Reverts if every leg fails; partial
+  /// success commits the successful legs and counts the failures.
+  void distribute(vm::ExecContext& ctx, vm::Amount amount);
+
+  // --- Inspection -------------------------------------------------------
+  [[nodiscard]] std::int64_t raw_distributions() const { return stats_.raw_get(kDistributions); }
+  [[nodiscard]] std::int64_t raw_failed_legs() const { return stats_.raw_get(kFailedLegs); }
+  [[nodiscard]] const std::vector<vm::Address>& payees() const noexcept { return payees_; }
+  [[nodiscard]] const vm::Address& token() const noexcept { return token_; }
+
+  // --- Transaction builders ---------------------------------------------
+  [[nodiscard]] static chain::Transaction make_distribute_tx(const vm::Address& contract,
+                                                             const vm::Address& sender,
+                                                             vm::Amount amount);
+
+ private:
+  static constexpr std::uint64_t kDistributeComputeGas = 2'000;
+  // Keys in the stats counter map.
+  static constexpr std::uint64_t kDistributions = 1;
+  static constexpr std::uint64_t kFailedLegs = 2;
+
+  const vm::Address token_;                 ///< Immutable after genesis.
+  const std::vector<vm::Address> payees_;   ///< Immutable after genesis.
+  vm::BoostedCounterMap<std::uint64_t> stats_;
+};
+
+}  // namespace concord::contracts

@@ -1,0 +1,124 @@
+#include "contracts/simple_auction.hpp"
+
+#include "vm/gas.hpp"
+#include "vm/world.hpp"
+
+namespace concord::contracts {
+
+SimpleAuction::SimpleAuction(vm::Address address, vm::Address beneficiary)
+    : Contract(address, "SimpleAuction"),
+      beneficiary_(beneficiary),
+      highest_bidder_(field_space("highestBidder"), vm::kZeroAddress),
+      highest_bid_(field_space("highestBid"), 0),
+      pending_returns_(field_space("pendingReturns")),
+      ended_(field_space("ended"), false) {}
+
+void SimpleAuction::execute(const vm::Call& call, vm::ExecContext& ctx) {
+  switch (call.selector) {
+    case kBid:
+      bid(ctx);
+      return;
+    case kWithdraw:
+      withdraw(ctx);
+      return;
+    case kBidPlusOne:
+      bid_plus_one(ctx);
+      return;
+    case kAuctionEnd:
+      auction_end(ctx);
+      return;
+    default:
+      throw vm::BadCall("SimpleAuction: unknown selector");
+  }
+}
+
+void SimpleAuction::bid(vm::ExecContext& ctx) {
+  if (ended_.get(ctx)) throw vm::RevertError("auction already ended");
+  ctx.gas().charge(kBidComputeGas * vm::gas::kStep);
+  // For-update reads: every bid overwrites both scalars, so take the
+  // exclusive lock at first access (read-then-upgrade would deadlock
+  // against concurrent bids instead of queueing behind them).
+  const vm::Amount current = highest_bid_.get_for_update(ctx);
+  if (ctx.msg().value <= current) throw vm::RevertError("there is already a higher bid");
+  const vm::Address previous = highest_bidder_.get_for_update(ctx);
+  if (!previous.is_zero()) {
+    // "Sending back the money by simply using highestBidder.send(highestBid)
+    // is a security risk... let the recipients withdraw their money
+    // themselves." — commutative credit.
+    pending_returns_.add(ctx, previous, current);
+  }
+  highest_bidder_.set(ctx, ctx.msg().sender);
+  highest_bid_.set(ctx, ctx.msg().value);
+}
+
+void SimpleAuction::withdraw(vm::ExecContext& ctx) {
+  ctx.gas().charge(kWithdrawComputeGas * vm::gas::kStep);
+  const vm::Address caller = ctx.msg().sender;
+  const vm::Amount amount = pending_returns_.get_for_update(ctx, caller);
+  if (amount > 0) {
+    // Zero first, then pay — the withdrawal pattern from the Solidity
+    // docs (prevents re-entrant double-withdraw).
+    pending_returns_.set(ctx, caller, 0);
+    ctx.world().transfer(ctx, address(), caller, amount);
+  }
+}
+
+void SimpleAuction::bid_plus_one(vm::ExecContext& ctx) {
+  if (ended_.get(ctx)) throw vm::RevertError("auction already ended");
+  ctx.gas().charge(kBidComputeGas * vm::gas::kStep);
+  // "read and increase the highest bid": the read-to-write window spans
+  // the whole body, so take the exclusive lock up front (see bid()).
+  const vm::Amount current = highest_bid_.get_for_update(ctx);
+  const vm::Address previous = highest_bidder_.get_for_update(ctx);
+  if (!previous.is_zero()) pending_returns_.add(ctx, previous, current);
+  highest_bidder_.set(ctx, ctx.msg().sender);
+  highest_bid_.set(ctx, current + 1);
+}
+
+void SimpleAuction::auction_end(vm::ExecContext& ctx) {
+  ctx.gas().charge(kEndComputeGas * vm::gas::kStep);
+  if (ended_.get_for_update(ctx)) throw vm::RevertError("auctionEnd already called");
+  ended_.set(ctx, true);
+  const vm::Amount winning = highest_bid_.get(ctx);
+  if (winning > 0) ctx.world().transfer(ctx, address(), beneficiary_, winning);
+}
+
+void SimpleAuction::raw_set_highest(const vm::Address& bidder, vm::Amount amount) {
+  highest_bidder_.raw_set(bidder);
+  highest_bid_.raw_set(amount);
+}
+
+void SimpleAuction::raw_add_pending(const vm::Address& bidder, vm::Amount amount) {
+  pending_returns_.raw_set(bidder, pending_returns_.raw_get(bidder) + amount);
+}
+
+void SimpleAuction::hash_state(vm::StateHasher& hasher) const {
+  hasher.begin_section("beneficiary");
+  hasher.put_bytes(beneficiary_.bytes);
+  highest_bidder_.hash_state(hasher, "highestBidder");
+  highest_bid_.hash_state(hasher, "highestBid");
+  pending_returns_.hash_state(hasher, "pendingReturns");
+  ended_.hash_state(hasher, "ended");
+}
+
+chain::Transaction SimpleAuction::make_bid_tx(const vm::Address& contract,
+                                              const vm::Address& sender, vm::Amount amount) {
+  return chain::TxBuilder(contract, sender, kBid).value(amount).build();
+}
+
+chain::Transaction SimpleAuction::make_withdraw_tx(const vm::Address& contract,
+                                                   const vm::Address& sender) {
+  return chain::TxBuilder(contract, sender, kWithdraw).build();
+}
+
+chain::Transaction SimpleAuction::make_bid_plus_one_tx(const vm::Address& contract,
+                                                       const vm::Address& sender) {
+  return chain::TxBuilder(contract, sender, kBidPlusOne).build();
+}
+
+chain::Transaction SimpleAuction::make_auction_end_tx(const vm::Address& contract,
+                                                      const vm::Address& sender) {
+  return chain::TxBuilder(contract, sender, kAuctionEnd).build();
+}
+
+}  // namespace concord::contracts

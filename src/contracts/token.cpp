@@ -1,0 +1,100 @@
+#include "contracts/token.hpp"
+
+#include "util/bytes.hpp"
+#include "vm/gas.hpp"
+
+namespace concord::contracts {
+
+namespace {
+vm::Address read_address(util::ByteReader& r) {
+  vm::Address a;
+  const auto raw = r.get_raw(a.bytes.size());
+  std::copy(raw.begin(), raw.end(), a.bytes.begin());
+  return a;
+}
+}  // namespace
+
+Token::Token(vm::Address address, std::string symbol, vm::Address issuer)
+    : Contract(address, "Token"),
+      symbol_(std::move(symbol)),
+      issuer_(issuer),
+      balances_(field_space("balances")) {}
+
+void Token::execute(const vm::Call& call, vm::ExecContext& ctx) {
+  try {
+    util::ByteReader args(call.args);
+    switch (call.selector) {
+      case kTransfer: {
+        const vm::Address to = read_address(args);
+        transfer(ctx, to, static_cast<vm::Amount>(args.get_varint()));
+        return;
+      }
+      case kMint: {
+        const vm::Address to = read_address(args);
+        mint(ctx, to, static_cast<vm::Amount>(args.get_varint()));
+        return;
+      }
+      case kBalanceOf:
+        (void)balance_of(ctx, read_address(args));
+        return;
+      default:
+        throw vm::BadCall("Token: unknown selector");
+    }
+  } catch (const util::DecodeError& e) {
+    throw vm::BadCall(std::string("Token: malformed arguments: ") + e.what());
+  }
+}
+
+void Token::transfer(vm::ExecContext& ctx, const vm::Address& to, vm::Amount amount) {
+  ctx.gas().charge(kTransferComputeGas * vm::gas::kStep);
+  if (amount <= 0) throw vm::RevertError("non-positive transfer");
+  const vm::Address from = ctx.msg().sender;
+  // Overdraft check forces an exclusive read-modify-write on the sender's
+  // balance; the credit side stays commutative.
+  const vm::Amount available = balances_.get_for_update(ctx, from);
+  if (available < amount) throw vm::RevertError("insufficient balance");
+  balances_.set(ctx, from, available - amount);
+  balances_.add(ctx, to, amount);
+}
+
+void Token::mint(vm::ExecContext& ctx, const vm::Address& to, vm::Amount amount) {
+  ctx.gas().charge(kTransferComputeGas * vm::gas::kStep);
+  if (ctx.msg().sender != issuer_) throw vm::RevertError("only issuer may mint");
+  if (amount <= 0) throw vm::RevertError("non-positive mint");
+  balances_.add(ctx, to, amount);
+}
+
+vm::Amount Token::balance_of(vm::ExecContext& ctx, const vm::Address& who) const {
+  return balances_.get(ctx, who);
+}
+
+void Token::raw_mint(const vm::Address& to, vm::Amount amount) {
+  balances_.raw_set(to, balances_.raw_get(to) + amount);
+}
+
+void Token::hash_state(vm::StateHasher& hasher) const {
+  hasher.begin_section("symbol");
+  hasher.put_bytes(vm::encoded_bytes(symbol_));
+  hasher.begin_section("issuer");
+  hasher.put_bytes(issuer_.bytes);
+  balances_.hash_state(hasher, "balances");
+}
+
+chain::Transaction Token::make_transfer_tx(const vm::Address& contract,
+                                           const vm::Address& sender, const vm::Address& to,
+                                           vm::Amount amount) {
+  return chain::TxBuilder(contract, sender, kTransfer)
+      .arg_address(to)
+      .arg_u64(static_cast<std::uint64_t>(amount))
+      .build();
+}
+
+chain::Transaction Token::make_mint_tx(const vm::Address& contract, const vm::Address& issuer,
+                                       const vm::Address& to, vm::Amount amount) {
+  return chain::TxBuilder(contract, issuer, kMint)
+      .arg_address(to)
+      .arg_u64(static_cast<std::uint64_t>(amount))
+      .build();
+}
+
+}  // namespace concord::contracts

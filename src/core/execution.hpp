@@ -1,0 +1,25 @@
+#pragma once
+
+#include "chain/transaction.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/runner.hpp"
+#include "vm/world.hpp"
+
+namespace concord::core {
+
+/// Executes one on-chain transaction against `world` inside `ctx`,
+/// resolving the target contract. A transaction addressed to a
+/// non-existent contract is a deterministic revert that performs no
+/// storage operations (so it replays identically everywhere).
+///
+/// In speculative mode, finishing the attempt (commit / publish profile /
+/// release locks) remains the caller's responsibility; see vm::run_call.
+[[nodiscard]] inline vm::TxStatus execute_transaction(vm::World& world,
+                                                      const chain::Transaction& tx,
+                                                      vm::ExecContext& ctx) {
+  vm::Contract* contract = world.contracts().find(tx.contract);
+  if (contract == nullptr) return vm::TxStatus::kReverted;
+  return vm::run_call(*contract, tx.to_call(), tx.to_msg(), ctx);
+}
+
+}  // namespace concord::core

@@ -1,0 +1,149 @@
+#include "core/miner.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/execution.hpp"
+#include "graph/happens_before.hpp"
+#include "stm/conflict.hpp"
+#include "vm/trace.hpp"
+
+namespace concord::core {
+
+Miner::Miner(vm::World& world, MinerConfig config)
+    : world_(world), config_(config), pool_(config.threads) {}
+
+chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain::Block& parent) {
+  const auto n = static_cast<std::uint32_t>(txs.size());
+  runtime_.reset();  // "When a miner starts a block, it sets these counters to zero."
+  stats_ = MinerStats{};
+  stats_.transactions = n;
+  {
+    std::scoped_lock lk(error_mu_);
+    worker_error_.clear();
+  }
+
+  std::vector<stm::LockProfile> profiles(n);
+  std::vector<vm::TxStatus> statuses(n, vm::TxStatus::kSuccess);
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> aborts{0};
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool_.submit([this, i, &txs, &profiles, &statuses, &attempts, &aborts] {
+      // Pool tasks must not throw: capture harness failures for rethrow.
+      try {
+        const std::uint64_t birth = runtime_.next_birth();
+        for (std::size_t attempt = 1;; ++attempt) {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          stm::SpeculativeAction action(runtime_, i, birth);
+          vm::ExecContext ctx = vm::ExecContext::speculative(
+              world_, runtime_, action, vm::GasMeter(txs[i].gas_limit, config_.nanos_per_gas));
+          ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+          try {
+            const vm::TxStatus status = execute_transaction(world_, txs[i], ctx);
+            profiles[i] = action.commit(/*reverted=*/status != vm::TxStatus::kSuccess);
+            statuses[i] = status;
+            return;
+          } catch (const stm::ConflictAbort&) {
+            // The action's destructor already undid its effects and
+            // released its locks; re-execute with the same birth stamp so
+            // repeated victims age into deadlock immunity.
+            aborts.fetch_add(1, std::memory_order_relaxed);
+            if (attempt >= config_.max_attempts) {
+              throw std::runtime_error("speculative retry budget exhausted (livelock?)");
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        std::scoped_lock lk(error_mu_);
+        if (worker_error_.empty()) worker_error_ = e.what();
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  {
+    std::scoped_lock lk(error_mu_);
+    if (!worker_error_.empty()) throw std::runtime_error("miner worker failed: " + worker_error_);
+  }
+
+  stats_.attempts = attempts.load(std::memory_order_relaxed);
+  stats_.conflict_aborts = aborts.load(std::memory_order_relaxed);
+  stats_.deadlock_victims = runtime_.deadlocks().victims();
+  return assemble(txs, std::move(statuses), std::move(profiles), parent);
+}
+
+chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
+                                const chain::Block& parent) {
+  const auto n = static_cast<std::uint32_t>(txs.size());
+  stats_ = MinerStats{};
+  stats_.transactions = n;
+  stats_.attempts = n;
+
+  std::vector<stm::LockProfile> profiles(n);
+  std::vector<vm::TxStatus> statuses(n, vm::TxStatus::kSuccess);
+  // Synthetic use counters: serial execution *is* a lock-acquisition
+  // order, so number each lock's holders 1, 2, 3… in block order.
+  std::unordered_map<stm::LockId, std::uint64_t, stm::LockIdHash> counters;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vm::TraceRecorder trace;
+    vm::ExecContext ctx = vm::ExecContext::replay(
+        world_, trace, vm::GasMeter(txs[i].gas_limit, config_.nanos_per_gas));
+    ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+    statuses[i] = execute_transaction(world_, txs[i], ctx);
+
+    stm::LockProfile& profile = profiles[i];
+    profile.tx = i;
+    profile.reverted = statuses[i] != vm::TxStatus::kSuccess;
+    for (const auto& [lock, mode] : trace.canonical()) {
+      profile.entries.push_back(stm::LockProfileEntry{lock, mode, ++counters[lock]});
+    }
+  }
+  return assemble(txs, std::move(statuses), std::move(profiles), parent);
+}
+
+std::vector<vm::TxStatus> Miner::execute_serial_baseline(
+    const std::vector<chain::Transaction>& txs) {
+  std::vector<vm::TxStatus> statuses;
+  statuses.reserve(txs.size());
+  for (const auto& tx : txs) {
+    vm::ExecContext ctx =
+        vm::ExecContext::serial(world_, vm::GasMeter(tx.gas_limit, config_.nanos_per_gas));
+    statuses.push_back(execute_transaction(world_, tx, ctx));
+  }
+  return statuses;
+}
+
+chain::Block Miner::assemble(const std::vector<chain::Transaction>& txs,
+                             std::vector<vm::TxStatus> statuses,
+                             std::vector<stm::LockProfile> profiles, const chain::Block& parent) {
+  const std::size_t n = txs.size();
+  const graph::HappensBeforeGraph hb = graph::derive_happens_before(profiles, n);
+  auto order = hb.topological_order();
+  if (!order) {
+    // Strict two-phase locking makes commit order consistent across
+    // locks; a cycle here means an STM invariant broke.
+    throw std::logic_error("derived happens-before graph is cyclic");
+  }
+
+  chain::Block block;
+  block.transactions = txs;
+  block.statuses = std::move(statuses);
+  block.schedule.profiles = std::move(profiles);
+  block.schedule.edges = hb.edges();
+  block.schedule.serial_order = std::move(*order);
+
+  block.header.number = parent.header.number + 1;
+  block.header.parent_hash = parent.hash();
+  block.header.state_root = world_.state_root();
+  block.header.tx_root = block.compute_tx_root();
+  block.header.status_root = block.compute_status_root();
+  block.header.schedule_hash = block.schedule.hash();
+
+  stats_.schedule_bytes = block.schedule.encoded_size();
+  return block;
+}
+
+}  // namespace concord::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/transaction.hpp"
+#include "sched/thread_pool.hpp"
+#include "stm/runtime.hpp"
+#include "vm/gas.hpp"
+#include "vm/world.hpp"
+
+namespace concord::core {
+
+/// Miner tuning knobs.
+struct MinerConfig {
+  /// Speculative worker threads. The paper uses 3 ("a fixed pool of three
+  /// threads, leaving one core available for garbage collection and other
+  /// system processes").
+  unsigned threads = 3;
+  /// Wall-clock weight of gas (see vm::GasMeter); benches override this to
+  /// scale per-transaction work.
+  double nanos_per_gas = vm::GasMeter::kDefaultNanosPerGas;
+  /// Safety valve: attempts per transaction before declaring livelock.
+  /// Deadlock-victim aging makes hitting this a bug, not a workload
+  /// property.
+  std::size_t max_attempts = 1'000;
+  /// Ablation: strictly-exclusive abstract locks (no READ/INCREMENT
+  /// sharing). Blocks mined this way must be validated with the same
+  /// setting. See bench_ablation_modes.
+  bool exclusive_locks_only = false;
+};
+
+/// Counters describing one mining run.
+struct MinerStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t attempts = 0;          ///< Total speculative attempts (≥ transactions).
+  std::uint64_t conflict_aborts = 0;   ///< Attempts that rolled back and retried.
+  std::uint64_t deadlock_victims = 0;  ///< Aborts initiated by the deadlock detector.
+  std::size_t schedule_bytes = 0;      ///< Serialized size of the published schedule.
+};
+
+/// The paper's miner. mine() implements Algorithm 1: execute the block's
+/// transactions as speculative actions on a thread pool, record lock
+/// profiles, derive the happens-before graph, topologically sort it into
+/// the equivalent serial order, and publish everything in the block.
+///
+/// mine_serial() is the serial miner: it executes transactions one at a
+/// time in block order (no locks, no speculation) and publishes the
+/// trivially-correct sequential schedule — the paper's §4 aside about a
+/// miner that publishes "a correct sequential schedule equivalent to, but
+/// slower than its actual parallel schedule" made honest.
+///
+/// execute_serial_baseline() is the undecorated serial execution used as
+/// the speedup baseline in §7 (no schedule capture at all).
+class Miner {
+ public:
+  explicit Miner(vm::World& world, MinerConfig config = {});
+
+  /// Speculative parallel mining (Algorithm 1). Mutates the world to the
+  /// post-block state and returns the block extending `parent`.
+  [[nodiscard]] chain::Block mine(const std::vector<chain::Transaction>& txs,
+                                  const chain::Block& parent);
+
+  /// Serial mining with schedule capture (one thread, no speculation).
+  [[nodiscard]] chain::Block mine_serial(const std::vector<chain::Transaction>& txs,
+                                         const chain::Block& parent);
+
+  /// Plain serial execution; returns per-tx statuses. The §7 baseline.
+  std::vector<vm::TxStatus> execute_serial_baseline(
+      const std::vector<chain::Transaction>& txs);
+
+  [[nodiscard]] const MinerStats& last_stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+
+ private:
+  /// Runs transaction `index` to a published profile, retrying conflict
+  /// aborts. Called on pool threads; writes only to its own slots.
+  void mine_one(std::uint32_t index, const chain::Transaction& tx,
+                std::vector<stm::LockProfile>& profiles, std::vector<vm::TxStatus>& statuses);
+
+  /// Builds the block: derives the happens-before graph from `profiles`,
+  /// topologically sorts it, snapshots the state root.
+  [[nodiscard]] chain::Block assemble(const std::vector<chain::Transaction>& txs,
+                                      std::vector<vm::TxStatus> statuses,
+                                      std::vector<stm::LockProfile> profiles,
+                                      const chain::Block& parent);
+
+  vm::World& world_;
+  MinerConfig config_;
+  stm::BoostingRuntime runtime_;
+  sched::ThreadPool pool_;
+  MinerStats stats_;
+
+  // Worker-error capture (pool tasks must not throw).
+  std::mutex error_mu_;
+  std::string worker_error_;
+};
+
+}  // namespace concord::core

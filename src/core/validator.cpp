@@ -1,0 +1,176 @@
+#include "core/validator.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "core/execution.hpp"
+#include "graph/happens_before.hpp"
+#include "vm/trace.hpp"
+
+namespace concord::core {
+
+std::string_view to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "accepted";
+    case RejectReason::kBadCommitments: return "header commitments do not match body";
+    case RejectReason::kMalformedSchedule: return "malformed schedule";
+    case RejectReason::kMissingConstraint: return "schedule misses a happens-before constraint";
+    case RejectReason::kCyclicSchedule: return "published schedule graph is cyclic";
+    case RejectReason::kBadSerialOrder: return "published serial order is not a topological sort";
+    case RejectReason::kProfileMismatch: return "replay trace differs from published lock profile";
+    case RejectReason::kStatusMismatch: return "replayed statuses differ from block";
+    case RejectReason::kStateRootMismatch: return "replayed state root differs from header";
+  }
+  return "?";
+}
+
+Validator::Validator(vm::World& world, ValidatorConfig config)
+    : world_(world), config_(config), pool_(config.threads) {}
+
+bool Validator::structural_checks(const chain::Block& block, ValidationReport& report) const {
+  const auto fail = [&report](RejectReason reason, std::string detail) {
+    report.ok = false;
+    report.reason = reason;
+    report.detail = std::move(detail);
+    return false;
+  };
+
+  if (!block.commitments_consistent()) {
+    return fail(RejectReason::kBadCommitments, "tx/status/schedule roots");
+  }
+
+  const std::size_t n = block.transactions.size();
+  const auto& schedule = block.schedule;
+  if (schedule.profiles.size() != n) {
+    return fail(RejectReason::kMalformedSchedule, "profile count != transaction count");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (schedule.profiles[i].tx != i) {
+      return fail(RejectReason::kMalformedSchedule, "profiles not indexed by transaction");
+    }
+  }
+  for (const auto& [u, v] : schedule.edges) {
+    if (u >= n || v >= n || u == v) {
+      return fail(RejectReason::kMalformedSchedule, "edge endpoint out of range");
+    }
+  }
+
+  // "Naturally, the validator must be able to check that the proposed
+  // schedule really is serializable": the published graph must imply
+  // every ordering the profiles' use counters demand, otherwise two
+  // conflicting transactions could replay concurrently (a data race).
+  const graph::HappensBeforeGraph published = schedule.to_graph(n);
+  const graph::HappensBeforeGraph derived = graph::derive_happens_before(schedule.profiles, n);
+  if (!published.implies(derived)) {
+    return fail(RejectReason::kMissingConstraint, "profile-derived edge not covered");
+  }
+  if (!published.is_acyclic()) {
+    return fail(RejectReason::kCyclicSchedule, "cycle in published edges");
+  }
+  if (!published.is_topological_order(schedule.serial_order)) {
+    return fail(RejectReason::kBadSerialOrder, "serial order inconsistent with graph");
+  }
+  return true;
+}
+
+ValidationReport Validator::validate_parallel(const chain::Block& block) {
+  ValidationReport report;
+  if (!structural_checks(block, report)) return report;
+
+  const std::size_t n = block.transactions.size();
+  const graph::HappensBeforeGraph published = block.schedule.to_graph(n);
+
+  std::vector<std::vector<std::uint32_t>> preds(n);
+  std::vector<std::vector<std::uint32_t>> succs(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    preds[i] = published.predecessors(i);
+    succs[i] = published.successors(i);
+  }
+
+  std::vector<vm::TxStatus> statuses(n, vm::TxStatus::kSuccess);
+  std::atomic<bool> profile_mismatch{false};
+  std::atomic<bool> task_failed{false};
+
+  // Algorithm 2: each transaction's task joins its happens-before
+  // predecessors (dependency counting in the pool) and then re-executes
+  // the transaction, recording thread-locally the locks it would have
+  // acquired.
+  pool_.run_dag(n, preds, succs, [&](std::uint32_t i) {
+    try {
+      vm::TraceRecorder trace;
+      vm::ExecContext ctx =
+          vm::ExecContext::replay(world_, trace, vm::GasMeter(block.transactions[i].gas_limit,
+                                                              config_.nanos_per_gas));
+      ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+      statuses[i] = execute_transaction(world_, block.transactions[i], ctx);
+      const stm::LockProfile& expected = block.schedule.profiles[i];
+      const bool reverted = statuses[i] != vm::TxStatus::kSuccess;
+      if (!trace.matches(expected) || expected.reverted != reverted) {
+        profile_mismatch.store(true, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      task_failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  report.replayed = n;
+  report.steals = pool_.steal_count();
+
+  if (task_failed.load()) {
+    report.reason = RejectReason::kProfileMismatch;
+    report.detail = "replay task raised an unexpected error";
+    return report;
+  }
+  // "At the end of the execution, the validator's VM compares the traces
+  // it generated with the lock profiles provided by the miner. If they
+  // differ, the block is rejected."
+  if (profile_mismatch.load()) {
+    report.reason = RejectReason::kProfileMismatch;
+    report.detail = "lock trace/profile divergence";
+    return report;
+  }
+  if (statuses != block.statuses) {
+    report.reason = RejectReason::kStatusMismatch;
+    report.detail = "transaction outcome divergence";
+    return report;
+  }
+  if (world_.state_root() != block.header.state_root) {
+    report.reason = RejectReason::kStateRootMismatch;
+    report.detail = "final state divergence";
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+ValidationReport Validator::validate_serial(const chain::Block& block) {
+  ValidationReport report;
+  if (!structural_checks(block, report)) return report;
+
+  const std::size_t n = block.transactions.size();
+  std::vector<vm::TxStatus> statuses(n, vm::TxStatus::kSuccess);
+  // Serial re-execution follows the published equivalent serial order S,
+  // exactly as pre-paper validators re-run the block's transactions "in
+  // block-order".
+  for (const std::uint32_t i : block.schedule.serial_order) {
+    vm::ExecContext ctx = vm::ExecContext::serial(
+        world_, vm::GasMeter(block.transactions[i].gas_limit, config_.nanos_per_gas));
+    statuses[i] = execute_transaction(world_, block.transactions[i], ctx);
+  }
+  report.replayed = n;
+
+  if (statuses != block.statuses) {
+    report.reason = RejectReason::kStatusMismatch;
+    report.detail = "transaction outcome divergence (serial)";
+    return report;
+  }
+  if (world_.state_root() != block.header.state_root) {
+    report.reason = RejectReason::kStateRootMismatch;
+    report.detail = "final state divergence (serial)";
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace concord::core

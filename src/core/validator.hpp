@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "chain/block.hpp"
+#include "sched/fork_join.hpp"
+#include "vm/gas.hpp"
+#include "vm/world.hpp"
+
+namespace concord::core {
+
+/// Why a block was rejected. Ordered roughly by how early in validation
+/// the check runs.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kBadCommitments,      ///< Header does not commit to the body it carries.
+  kMalformedSchedule,   ///< Profile indices / edge endpoints out of range.
+  kMissingConstraint,   ///< Published graph doesn't imply a profile-derived edge
+                        ///< (the "schedule has a data race" case of §5).
+  kCyclicSchedule,      ///< Published graph is not a DAG.
+  kBadSerialOrder,      ///< Published S is not a topological sort of H.
+  kProfileMismatch,     ///< Replay trace differs from a published profile.
+  kStatusMismatch,      ///< Replayed tx outcomes differ from the block's.
+  kStateRootMismatch,   ///< Replayed final state differs from the header.
+};
+
+[[nodiscard]] std::string_view to_string(RejectReason reason) noexcept;
+
+/// Outcome of validating one block.
+struct ValidationReport {
+  bool ok = false;
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;            ///< Human-readable specifics (first failure).
+  std::uint64_t replayed = 0;    ///< Transactions re-executed.
+  std::uint64_t steals = 0;      ///< Work-stealing steals during replay.
+};
+
+/// Validator tuning knobs.
+struct ValidatorConfig {
+  unsigned threads = 3;  ///< Matches the paper's evaluation setup.
+  double nanos_per_gas = vm::GasMeter::kDefaultNanosPerGas;
+  /// Must match the mining-side MinerConfig::exclusive_locks_only.
+  bool exclusive_locks_only = false;
+};
+
+/// The paper's validator (§4 / Algorithm 2).
+///
+/// validate_parallel() turns the published happens-before graph into a
+/// deterministic fork-join program on a work-stealing pool: each
+/// transaction replays (no abstract locks, no conflict detection, no
+/// rollback machinery) once all of its graph predecessors finish, while a
+/// thread-local TraceRecorder captures the locks it *would* have taken.
+/// The block is accepted only if (1) the published graph implies every
+/// constraint derivable from the published profiles, (2) it is acyclic
+/// and the published serial order is one of its topological sorts,
+/// (3) every replay trace matches its published profile, (4) the replayed
+/// status vector matches, and (5) the final state root matches.
+///
+/// validate_serial() is the pre-paper behaviour: re-execute in the serial
+/// order and compare outcomes — the correctness oracle for tests and the
+/// baseline for benches.
+///
+/// Both methods mutate the world to the post-block state when they reach
+/// the re-execution stage; the caller provides a world positioned at the
+/// parent state (and owns rebuilding it if validation fails mid-way).
+class Validator {
+ public:
+  explicit Validator(vm::World& world, ValidatorConfig config = {});
+
+  [[nodiscard]] ValidationReport validate_parallel(const chain::Block& block);
+
+  [[nodiscard]] ValidationReport validate_serial(const chain::Block& block);
+
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+
+ private:
+  /// Checks everything that does not require re-execution. Returns true
+  /// when `report` is still clean.
+  bool structural_checks(const chain::Block& block, ValidationReport& report) const;
+
+  vm::World& world_;
+  ValidatorConfig config_;
+  sched::ForkJoinPool pool_;
+};
+
+}  // namespace concord::core

@@ -1,0 +1,43 @@
+#include "graph/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace concord::graph {
+
+std::string to_dot(const HappensBeforeGraph& graph, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph " << options.name << " {\n";
+  out << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+
+  if (options.rank_by_depth && graph.node_count() > 0) {
+    if (const auto order = graph.topological_order()) {
+      std::vector<std::size_t> depth(graph.node_count(), 0);
+      for (const std::uint32_t u : *order) {
+        for (const std::uint32_t v : graph.successors(u)) {
+          depth[v] = std::max(depth[v], depth[u] + 1);
+        }
+      }
+      const std::size_t max_depth = *std::max_element(depth.begin(), depth.end());
+      for (std::size_t d = 0; d <= max_depth; ++d) {
+        out << "  { rank=same;";
+        for (std::uint32_t v = 0; v < graph.node_count(); ++v) {
+          if (depth[v] == d) out << " t" << v << ";";
+        }
+        out << " }\n";
+      }
+    }
+  }
+
+  for (std::uint32_t v = 0; v < graph.node_count(); ++v) {
+    out << "  t" << v << " [label=\"" << v << "\"];\n";
+  }
+  for (const auto& [u, v] : graph.edges()) {
+    out << "  t" << u << " -> t" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace concord::graph

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "graph/happens_before.hpp"
+
+namespace concord::graph {
+
+/// Options for to_dot().
+struct DotOptions {
+  std::string name = "schedule";
+  /// Ranks nodes by longest-path depth (the fork-join "waves"), so the
+  /// rendered picture reads as the validator's execution timeline.
+  bool rank_by_depth = true;
+};
+
+/// Renders a happens-before graph as Graphviz DOT — the paper publishes
+/// schedules in blocks so "their degree of parallelism is easily
+/// evaluated"; this makes them easy to *look at* too. Used by the
+/// schedule-metrics bench and handy in a debugger.
+[[nodiscard]] std::string to_dot(const HappensBeforeGraph& graph, const DotOptions& options = {});
+
+}  // namespace concord::graph

@@ -1,0 +1,54 @@
+#include "sched/thread_pool.hpp"
+
+namespace concord::sched {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lk(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  // jthread joins in its destructor; workers drain the queue before exit.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      work_ready_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::scoped_lock lk(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace concord::sched

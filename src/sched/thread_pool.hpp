@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace concord::sched {
+
+/// Fixed-size thread pool with a shared FIFO queue — the C++ analogue of
+/// the Java ExecutorService the paper's miner uses ("Miners manage
+/// concurrency using Java's ExecutorService. This class provides a pool of
+/// threads and runs a collection of callable objects in parallel" — §6.1).
+///
+/// The miner submits one task per transaction and calls wait_idle() as the
+/// barrier at the end of the block. Tasks must not throw (speculative
+/// retry loops handle their own exceptions); a task that does throw
+/// terminates the process, which is the correct response to a harness bug.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding work, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is
+  /// empty. Other threads may keep submitting; this returns at a moment
+  /// when the pool *was* idle.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< Tasks currently executing.
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace concord::sched

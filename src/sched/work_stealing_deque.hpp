@@ -1,0 +1,141 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace concord::sched {
+
+/// Chase–Lev work-stealing deque (D. Chase & Y. Lev, "Dynamic Circular
+/// Work-Stealing Deque", SPAA 2005), with the C11 memory-order treatment
+/// of Lê, Pop, Cohen & Zappa Nardelli ("Correct and Efficient
+/// Work-Stealing for Weak Memory Models", PPoPP 2013).
+///
+/// One owner thread pushes and pops at the bottom; any number of thieves
+/// steal from the top. This is the paper's §4 substrate: "using a
+/// work-stealing scheduler, the validator can exploit whatever degree of
+/// parallelism it has available" (the citation is to Cilk, whose runtime
+/// rests on this structure).
+///
+/// Elements are task indices (trivially copyable by design — the DAG
+/// executor owns the task payloads). Buffer growth retires old buffers to
+/// a list freed at destruction, so a thief holding a stale buffer pointer
+/// can still read slots safely.
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0), buffer_(new Buffer(round_up_pow2(initial_capacity))) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() = default;  // retired_ owns every buffer ever used.
+
+  /// Owner only: pushes a task at the bottom.
+  void push(std::uint32_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pops the most recently pushed task (LIFO — depth-first
+  /// on own work, which keeps caches warm).
+  [[nodiscard]] std::optional<std::uint32_t> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+
+    std::optional<std::uint32_t> item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = std::nullopt;  // A thief won.
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steals the oldest task (FIFO end — breadth-first across
+  /// the victim's work, which steals big subtrees).
+  [[nodiscard]] std::optional<std::uint32_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    const std::uint32_t item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // Lost the race; caller may try another victim.
+    }
+    return item;
+  }
+
+  /// Approximate size (diagnostic only; racy by nature).
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), mask(cap - 1), slots(new std::atomic<std::uint32_t>[cap]) {}
+
+    void put(std::int64_t i, std::uint32_t v) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint32_t get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> slots;
+  };
+
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// Owner only: doubles the buffer, copying live elements. The old
+  /// buffer stays on the retired list because thieves may still hold it.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Buffer* raw = bigger.get();
+    retired_.push_back(std::move(bigger));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_;
+  std::atomic<std::int64_t> bottom_;
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  ///< Owner-mutated (push path only).
+};
+
+}  // namespace concord::sched

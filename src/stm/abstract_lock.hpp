@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+
+namespace concord::stm {
+
+class SpeculativeAction;
+
+/// One abstract lock (paper §3). Distinct LockIds are held by operations
+/// that commute; a single AbstractLock serializes the operations that do
+/// not — subject to the mode compatibility matrix in lock_mode.hpp.
+///
+/// The lock also carries the §4 use counter: each finishing transaction
+/// increments it while releasing and records the value in its lock
+/// profile, which is how the miner's discovered schedule is captured for
+/// the validator.
+///
+/// The acquisition protocol itself lives in SpeculativeAction (which needs
+/// coordinated access to the undo log, the lineage and the deadlock
+/// detector); AbstractLock exposes the holder table to it as a friend.
+class AbstractLock {
+ public:
+  explicit AbstractLock(LockId id) noexcept : id_(id) {}
+
+  AbstractLock(const AbstractLock&) = delete;
+  AbstractLock& operator=(const AbstractLock&) = delete;
+
+  [[nodiscard]] const LockId& id() const noexcept { return id_; }
+
+  /// Number of times the lock has been released by a finishing action
+  /// since the block started (test/diagnostic view; the authoritative
+  /// reads happen inside SpeculativeAction under mutex_).
+  [[nodiscard]] std::uint64_t use_counter() const {
+    std::scoped_lock lk(mutex_);
+    return use_counter_;
+  }
+
+  /// Number of lineages currently holding the lock (diagnostic).
+  [[nodiscard]] std::size_t holder_count() const {
+    std::scoped_lock lk(mutex_);
+    return holders_.size();
+  }
+
+ private:
+  friend class SpeculativeAction;
+
+  /// One holding lineage. `root` identifies the top-level action;
+  /// `owner` is the (possibly nested) action that releases the entry on
+  /// abort, and whose commit passes the entry to its parent.
+  struct Holder {
+    std::uint64_t root = 0;
+    SpeculativeAction* owner = nullptr;
+    LockMode mode = LockMode::kRead;
+  };
+
+  /// Caller holds mutex_. Returns the entry for `root` or nullptr.
+  [[nodiscard]] Holder* find_holder(std::uint64_t root) {
+    for (auto& h : holders_) {
+      if (h.root == root) return &h;
+    }
+    return nullptr;
+  }
+
+  /// Caller holds mutex_. Removes the entry for `root`.
+  void remove_holder(std::uint64_t root) {
+    for (auto it = holders_.begin(); it != holders_.end(); ++it) {
+      if (it->root == root) {
+        holders_.erase(it);
+        return;
+      }
+    }
+  }
+
+  LockId id_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Holder> holders_;
+  std::uint64_t use_counter_ = 0;
+};
+
+}  // namespace concord::stm

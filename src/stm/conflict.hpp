@@ -1,0 +1,24 @@
+#pragma once
+
+#include <exception>
+
+namespace concord::stm {
+
+/// Thrown inside a speculative action when the runtime decides this action
+/// must abort for synchronization reasons (it was chosen as a deadlock
+/// victim, or it observed its doom flag while waiting on an abstract
+/// lock).
+///
+/// This is the "conflict, roll back and restart" control flow of paper §3;
+/// the miner catches it, lets the action's destructor undo its effects and
+/// release its locks, and re-executes the transaction. It is deliberately
+/// distinct from vm::RevertError (Solidity `throw`), which is a *semantic*
+/// outcome that must NOT be retried.
+class ConflictAbort : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "speculative action aborted due to synchronization conflict";
+  }
+};
+
+}  // namespace concord::stm

@@ -1,0 +1,99 @@
+#include "stm/deadlock.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stm/speculative_action.hpp"
+
+namespace concord::stm {
+
+void DeadlockDetector::register_action(std::uint64_t root_id, SpeculativeAction* action) {
+  std::scoped_lock lk(mu_);
+  actions_[root_id] = action;
+}
+
+void DeadlockDetector::deregister_action(std::uint64_t root_id) {
+  std::scoped_lock lk(mu_);
+  actions_.erase(root_id);
+  waits_for_.erase(root_id);
+}
+
+bool DeadlockDetector::will_wait(std::uint64_t waiter,
+                                 const std::vector<std::uint64_t>& blockers) {
+  std::scoped_lock lk(mu_);
+  waits_for_[waiter] = blockers;
+
+  std::vector<std::uint64_t> cycle;
+  if (!find_cycle(waiter, cycle)) return false;
+
+  // Resolve: doom the youngest (largest birth stamp) on the cycle. Retried
+  // actions keep their original stamp, so repeated victims age into
+  // immunity and the system makes progress.
+  const std::uint64_t victim = *std::max_element(cycle.begin(), cycle.end());
+  if (auto it = actions_.find(victim); it != actions_.end()) {
+    it->second->doom();
+    ++victims_;
+  }
+  waits_for_.erase(victim);  // The victim will stop waiting to abort.
+  return victim == waiter;
+}
+
+void DeadlockDetector::done_waiting(std::uint64_t waiter) {
+  std::scoped_lock lk(mu_);
+  waits_for_.erase(waiter);
+}
+
+void DeadlockDetector::reset() {
+  std::scoped_lock lk(mu_);
+  waits_for_.clear();
+  actions_.clear();
+  victims_ = 0;
+}
+
+std::uint64_t DeadlockDetector::victims() const {
+  std::scoped_lock lk(mu_);
+  return victims_;
+}
+
+bool DeadlockDetector::find_cycle(std::uint64_t start, std::vector<std::uint64_t>& cycle) const {
+  // Iterative DFS from `start`; a cycle through `start` exists iff `start`
+  // is reachable from one of its successors. Cycles not through `start`
+  // are found by their own participants' will_wait calls.
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<std::uint64_t> path;  // Current DFS chain, for cycle extraction.
+
+  struct Frame {
+    std::uint64_t node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{start});
+  visited.insert(start);
+  path.push_back(start);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto edges_it = waits_for_.find(frame.node);
+    const std::vector<std::uint64_t>* edges =
+        edges_it != waits_for_.end() ? &edges_it->second : nullptr;
+
+    if (edges == nullptr || frame.next_child >= edges->size()) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+
+    const std::uint64_t next = (*edges)[frame.next_child++];
+    if (next == start) {
+      cycle = path;  // Every node currently on the DFS chain is on the cycle.
+      return true;
+    }
+    if (visited.insert(next).second) {
+      stack.push_back(Frame{next});
+      path.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace concord::stm

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace concord::stm {
+
+class SpeculativeAction;
+
+/// Centralized wait-for-graph deadlock detector (paper §3: "The abstract
+/// locking mechanism also detects and resolves deadlocks, which are
+/// expected to be rare").
+///
+/// Every root speculative action registers itself on creation. Before a
+/// thread blocks on an abstract lock it records a wait edge to each
+/// current conflicting holder and a cycle check runs; if a cycle through
+/// the waiter exists, the *youngest* action on the cycle (largest birth
+/// stamp) is doomed and will raise ConflictAbort. Retried actions keep
+/// their original birth stamp, so an action that keeps losing eventually
+/// becomes the oldest on any cycle and can no longer be chosen — this
+/// yields progress (no livelock).
+///
+/// A single mutex guards the graph. Detection work is proportional to the
+/// number of *blocked* threads, which the paper's setting caps at the
+/// mining pool size (3), so a global detector is not a scalability
+/// concern; the lock fast path never touches it.
+class DeadlockDetector {
+ public:
+  /// Makes `action` eligible as a deadlock victim. Called by root actions
+  /// on construction.
+  void register_action(std::uint64_t root_id, SpeculativeAction* action);
+
+  /// Removes the action from the victim registry. Must be called before
+  /// the action is destroyed.
+  void deregister_action(std::uint64_t root_id);
+
+  /// Declares that `waiter` is about to block on holders `blockers`,
+  /// replacing any previous wait edges, then runs cycle detection.
+  /// Returns true when `waiter` itself was selected as the victim (the
+  /// caller should abort immediately instead of sleeping).
+  bool will_wait(std::uint64_t waiter, const std::vector<std::uint64_t>& blockers);
+
+  /// Clears `waiter`'s wait edges (called after every wake-up).
+  void done_waiting(std::uint64_t waiter);
+
+  /// Drops all state between blocks.
+  void reset();
+
+  /// Total number of deadlock victims doomed since the last reset
+  /// (exposed for tests and the benchmark harness's abort accounting).
+  [[nodiscard]] std::uint64_t victims() const;
+
+ private:
+  /// Finds a cycle through `start`; fills `cycle` with its nodes.
+  /// Caller holds mu_.
+  bool find_cycle(std::uint64_t start, std::vector<std::uint64_t>& cycle) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> waits_for_;
+  std::unordered_map<std::uint64_t, SpeculativeAction*> actions_;
+  std::uint64_t victims_ = 0;
+};
+
+}  // namespace concord::stm

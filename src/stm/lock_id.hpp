@@ -1,0 +1,56 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace concord::stm {
+
+/// Identity of an abstract lock.
+///
+/// `space` names a storage object (one per contract state variable —
+/// derived deterministically from the contract address and field name so
+/// that miners and validators on different machines agree), and `key`
+/// names the slot within it (a hash of the map key, the array index, or 0
+/// for scalars).
+///
+/// Lock identities appear on the wire inside published lock profiles, so
+/// both components must be computed with the deterministic hashes below,
+/// never with std::hash (whose value is implementation-defined).
+struct LockId {
+  std::uint64_t space = 0;
+  std::uint64_t key = 0;
+
+  friend auto operator<=>(const LockId&, const LockId&) = default;
+};
+
+/// FNV-1a 64-bit hash; the deterministic string hash used for lock spaces
+/// and string map keys.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer; the deterministic integer mix used for integer
+/// map keys (avoids pathological stripe/bucket clustering for sequential
+/// keys without sacrificing reproducibility).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// In-process hasher for LockId (hash-map usage only; never serialized).
+struct LockIdHash {
+  [[nodiscard]] std::size_t operator()(const LockId& id) const noexcept {
+    return static_cast<std::size_t>(mix64(id.space ^ mix64(id.key)));
+  }
+};
+
+}  // namespace concord::stm

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+
+namespace concord::stm {
+
+/// One abstract lock held by a committing (or reverting) transaction,
+/// together with the lock's use-counter value observed at release time.
+///
+/// Counters implement the paper's §4 mechanism: "Each speculative lock
+/// includes a use counter that keeps track of the number of times it has
+/// been released by a committing action during the construction of the
+/// current block." Comparing counter values across transactions yields the
+/// happens-before graph the validator replays.
+struct LockProfileEntry {
+  LockId lock;
+  LockMode mode = LockMode::kRead;  ///< Combined (strongest) mode this tx used.
+  std::uint64_t counter = 0;        ///< Lock's use counter after this tx's release.
+
+  friend bool operator==(const LockProfileEntry&, const LockProfileEntry&) = default;
+};
+
+/// The lock profile a transaction "registers with the VM" when it
+/// finishes (paper §4). Reverted transactions publish profiles too: a
+/// transaction aborted by Solidity `throw` still observed state under its
+/// locks, so its position in the schedule is semantically meaningful (a
+/// double vote must replay *after* the first vote or it would not throw).
+struct LockProfile {
+  std::uint32_t tx = 0;    ///< Index of the transaction in the block.
+  bool reverted = false;   ///< True when the contract threw (state undone).
+  std::vector<LockProfileEntry> entries;  ///< Sorted by LockId (canonical form).
+
+  /// Sorts entries into the canonical (space, key) order used for
+  /// serialization and equality.
+  void canonicalize() {
+    std::sort(entries.begin(), entries.end(),
+              [](const LockProfileEntry& a, const LockProfileEntry& b) { return a.lock < b.lock; });
+  }
+
+  friend bool operator==(const LockProfile&, const LockProfile&) = default;
+};
+
+}  // namespace concord::stm

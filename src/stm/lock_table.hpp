@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "stm/abstract_lock.hpp"
+#include "stm/lock_id.hpp"
+
+namespace concord::stm {
+
+/// Striped, on-demand table of abstract locks.
+///
+/// Locks are created the first time any transaction touches their LockId
+/// and live until the table is reset at the next block boundary (paper §4:
+/// "When a miner starts a block, it sets these counters to zero" — we
+/// reset by dropping the locks wholesale). Pointers returned by get() are
+/// stable until reset(), which the runtime only calls between blocks when
+/// no speculative action is live.
+class LockTable {
+ public:
+  LockTable() = default;
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Returns the lock for `id`, creating it if needed.
+  [[nodiscard]] AbstractLock& get(const LockId& id) {
+    Stripe& stripe = stripes_[stripe_index(id)];
+    std::scoped_lock lk(stripe.mu);
+    auto [it, inserted] = stripe.locks.try_emplace(id, nullptr);
+    if (inserted) it->second = std::make_unique<AbstractLock>(id);
+    return *it->second;
+  }
+
+  /// Drops every lock (and therefore every use counter). Caller must
+  /// guarantee no action holds or waits on any lock.
+  void reset() {
+    for (auto& stripe : stripes_) {
+      std::scoped_lock lk(stripe.mu);
+      stripe.locks.clear();
+    }
+  }
+
+  /// Total number of distinct abstract locks materialized (diagnostic).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& stripe : stripes_) {
+      std::scoped_lock lk(stripe.mu);
+      n += stripe.locks.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+
+  [[nodiscard]] static std::size_t stripe_index(const LockId& id) noexcept {
+    return LockIdHash{}(id) % kStripes;
+  }
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<LockId, std::unique_ptr<AbstractLock>, LockIdHash> locks;
+  };
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace concord::stm

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/deadlock.hpp"
+#include "stm/lock_table.hpp"
+
+namespace concord::stm {
+
+/// Per-miner boosting runtime: the lock table, the deadlock detector and
+/// the birth-stamp allocator shared by all speculative actions of one
+/// block's parallel execution.
+///
+/// reset() must be called between blocks (paper §4 zeroes the use counters
+/// at block start); it may only run while no speculative action is live.
+class BoostingRuntime {
+ public:
+  BoostingRuntime() = default;
+  BoostingRuntime(const BoostingRuntime&) = delete;
+  BoostingRuntime& operator=(const BoostingRuntime&) = delete;
+
+  [[nodiscard]] LockTable& locks() noexcept { return locks_; }
+  [[nodiscard]] DeadlockDetector& deadlocks() noexcept { return deadlocks_; }
+
+  /// Allocates a fresh birth stamp for a new transaction lineage. Stamps
+  /// are monotone: larger = younger = preferred deadlock victim.
+  [[nodiscard]] std::uint64_t next_birth() noexcept {
+    return birth_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Clears all locks (and use counters), deadlock state and stamps.
+  void reset() {
+    locks_.reset();
+    deadlocks_.reset();
+    birth_.store(1, std::memory_order_relaxed);
+  }
+
+ private:
+  LockTable locks_;
+  DeadlockDetector deadlocks_;
+  std::atomic<std::uint64_t> birth_{1};
+};
+
+}  // namespace concord::stm

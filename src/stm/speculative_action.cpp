@@ -1,0 +1,186 @@
+#include "stm/speculative_action.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "stm/conflict.hpp"
+#include "stm/runtime.hpp"
+
+namespace concord::stm {
+
+namespace {
+/// How long a blocked acquirer sleeps before re-checking its doom flag.
+/// Lock releases notify the condition variable directly, so this bounds
+/// only the latency of noticing a deadlock-victim decision.
+constexpr auto kDoomPollInterval = std::chrono::microseconds(200);
+}  // namespace
+
+SpeculativeAction::SpeculativeAction(BoostingRuntime& rt, std::uint32_t tx, std::uint64_t birth)
+    : rt_(rt), root_(this), tx_(tx), root_id_(birth) {
+  rt_.deadlocks().register_action(root_id_, this);
+}
+
+SpeculativeAction::SpeculativeAction(SpeculativeAction& parent)
+    : rt_(parent.rt_), parent_(&parent), root_(parent.root_), tx_(parent.tx_),
+      root_id_(parent.root_id_) {
+  assert(parent.state_ == State::kActive && "nested action requires an active parent");
+}
+
+SpeculativeAction::~SpeculativeAction() {
+  if (state_ == State::kActive) abort();
+  if (is_root()) rt_.deadlocks().deregister_action(root_id_);
+}
+
+void SpeculativeAction::acquire(AbstractLock& lock, LockMode want) {
+  assert(state_ == State::kActive && "storage op on a finished action");
+  if (doomed()) throw ConflictAbort{};
+
+  std::unique_lock lk(lock.mutex_);
+  for (;;) {
+    AbstractLock::Holder* mine = lock.find_holder(root_id_);
+    if (mine != nullptr && covers(mine->mode, want)) return;  // Already held strongly enough.
+    const LockMode target = mine != nullptr ? combine(mine->mode, want) : want;
+
+    // Collect the lineages we would have to wait for.
+    std::vector<std::uint64_t> blockers;
+    for (const auto& h : lock.holders_) {
+      if (h.root != root_id_ && conflicts(h.mode, target)) blockers.push_back(h.root);
+    }
+
+    if (blockers.empty()) {
+      if (mine != nullptr) {
+        mine->mode = target;  // Upgrade in place; the original owner keeps the entry.
+      } else {
+        lock.holders_.push_back(AbstractLock::Holder{root_id_, this, target});
+        held_.push_back(&lock);
+      }
+      return;
+    }
+
+    // Conflicting holders exist: register the wait edges, let the detector
+    // look for a cycle, then sleep until a release (or the doom poll).
+    if (rt_.deadlocks().will_wait(root_id_, blockers) || doomed()) {
+      rt_.deadlocks().done_waiting(root_id_);
+      throw ConflictAbort{};
+    }
+    lock.cv_.wait_for(lk, kDoomPollInterval);
+    rt_.deadlocks().done_waiting(root_id_);
+    if (doomed()) throw ConflictAbort{};
+  }
+}
+
+void SpeculativeAction::log_inverse(UndoLog::Inverse inverse) {
+  assert(state_ == State::kActive && "inverse logged on a finished action");
+  undo_.record(std::move(inverse));
+}
+
+void SpeculativeAction::add_hook(LifecycleHook hook) {
+  assert(state_ == State::kActive && "hook added to a finished action");
+  hooks_.push_back(std::move(hook));
+}
+
+LockProfile SpeculativeAction::commit(bool reverted) {
+  assert(is_root() && "commit() is for root actions; use commit_nested()");
+  assert(state_ == State::kActive && "double commit");
+
+  if (doomed()) {
+    // Selected as a deadlock victim while running: give up before
+    // publishing anything. abort() undoes our effects and releases locks.
+    abort();
+    throw ConflictAbort{};
+  }
+
+  if (reverted) {
+    // Solidity `throw`: undo eager effects (and overlay mutations — undo
+    // runs first so hook cleanup sees the restored overlays), then let
+    // lazy storage drop its buffers. All locks are still held.
+    undo_.replay_and_clear();
+    for (auto& hook : hooks_) {
+      if (hook.on_abort) hook.on_abort();
+    }
+  } else {
+    // Apply deferred (lazy) writes under full isolation, then drop the
+    // eager undo log.
+    for (auto& hook : hooks_) {
+      if (hook.on_commit) hook.on_commit();
+    }
+    undo_.clear();
+  }
+  hooks_.clear();
+
+  LockProfile profile;
+  profile.tx = tx_;
+  profile.reverted = reverted;
+  release_held(&profile);
+  profile.canonicalize();
+  state_ = State::kCommitted;
+  return profile;
+}
+
+void SpeculativeAction::commit_nested() {
+  assert(!is_root() && "commit_nested() is for nested actions");
+  assert(state_ == State::kActive && "double commit");
+  assert(parent_->state_ == State::kActive && "parent finished before child");
+
+  undo_.append_to(parent_->undo_);
+  for (auto& hook : hooks_) parent_->hooks_.push_back(std::move(hook));
+  hooks_.clear();
+  for (AbstractLock* lock : held_) {
+    std::scoped_lock lk(lock->mutex_);
+    AbstractLock::Holder* mine = lock->find_holder(root_id_);
+    assert(mine != nullptr && mine->owner == this);
+    mine->owner = parent_;  // "any abstract locks it acquired are passed to its parent"
+    parent_->held_.push_back(lock);
+  }
+  held_.clear();
+  state_ = State::kCommitted;
+}
+
+void SpeculativeAction::abort() noexcept {
+  if (state_ != State::kActive) return;
+  undo_.replay_and_clear();  // Before hooks: undo also restores lazy overlays.
+  for (auto& hook : hooks_) {
+    if (hook.on_abort) hook.on_abort();
+  }
+  hooks_.clear();
+  if (parent_ != nullptr && parent_->state_ == State::kActive) {
+    // Closed nesting: an aborted child's *effects* are undone, but the
+    // locks it acquired transfer to the parent instead of being released.
+    // This deliberately deviates from the paper's §3 wording ("any
+    // abstract locks it acquired are released"): the parent has observed
+    // the child's failure and may branch on it, so the child's reads are
+    // part of the lineage's serialization footprint. Releasing them early
+    // would let a conflicting transaction slip between the child's
+    // observation and the parent's commit — and the published profile
+    // would no longer cover the locks the validator's replay trace
+    // records for the (deterministically re-failing) nested call.
+    for (AbstractLock* lock : held_) {
+      std::scoped_lock lk(lock->mutex_);
+      AbstractLock::Holder* mine = lock->find_holder(root_id_);
+      assert(mine != nullptr && mine->owner == this);
+      mine->owner = parent_;
+      parent_->held_.push_back(lock);
+    }
+    held_.clear();
+  } else {
+    release_held(nullptr);
+  }
+  state_ = State::kAborted;
+}
+
+void SpeculativeAction::release_held(LockProfile* profile) noexcept {
+  for (AbstractLock* lock : held_) {
+    std::scoped_lock lk(lock->mutex_);
+    if (profile != nullptr) {
+      const AbstractLock::Holder* mine = lock->find_holder(root_id_);
+      assert(mine != nullptr);
+      ++lock->use_counter_;
+      profile->entries.push_back(LockProfileEntry{lock->id(), mine->mode, lock->use_counter_});
+    }
+    lock->remove_holder(root_id_);
+    lock->cv_.notify_all();
+  }
+  held_.clear();
+}
+
+}  // namespace concord::stm

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stm/abstract_lock.hpp"
+#include "stm/lock_mode.hpp"
+#include "stm/lock_profile.hpp"
+#include "stm/undo_log.hpp"
+
+namespace concord::stm {
+
+class BoostingRuntime;
+
+/// A speculative atomic action (paper §3) — the unit a miner runs one
+/// smart-contract transaction inside.
+///
+/// Root actions are created by the miner, one per transaction attempt.
+/// Nested actions model one contract calling another: "a nested
+/// speculative action inherits the abstract locks held by its parent, and
+/// it creates its own inverse log. If the nested action commits, any
+/// abstract locks it acquired are passed to its parent, and its inverse
+/// log is appended to its parent's log. If the nested action aborts, its
+/// inverse log is replayed to undo its effects, and any abstract locks it
+/// acquired are released."
+///
+/// Threading model: a lineage (root plus its nested descendants) executes
+/// on a single thread; distinct lineages run on distinct miner threads and
+/// synchronize only through abstract locks. The destructor aborts an
+/// action that is still active, so the miner's retry loop is exception
+/// safe by construction (RAII).
+class SpeculativeAction {
+ public:
+  /// Root action for transaction `tx`. `birth` must be unique per lineage
+  /// within the block and *monotone in creation order*; retries must reuse
+  /// the original birth stamp (deadlock-victim fairness; see
+  /// DeadlockDetector). Registers with the runtime's deadlock detector.
+  SpeculativeAction(BoostingRuntime& rt, std::uint32_t tx, std::uint64_t birth);
+
+  /// Nested child of `parent` (same thread, same lineage).
+  explicit SpeculativeAction(SpeculativeAction& parent);
+
+  SpeculativeAction(const SpeculativeAction&) = delete;
+  SpeculativeAction& operator=(const SpeculativeAction&) = delete;
+
+  /// Aborts if still active, then (for roots) deregisters from the
+  /// deadlock detector.
+  ~SpeculativeAction();
+
+  /// Acquires `lock` in `mode` on behalf of this lineage, blocking while a
+  /// conflicting lineage holds it. Re-acquisition in a covered mode is a
+  /// no-op; a stronger request upgrades in place once all conflicting
+  /// lineages have drained. Throws ConflictAbort when this action is
+  /// chosen as a deadlock victim or otherwise doomed.
+  void acquire(AbstractLock& lock, LockMode mode);
+
+  /// Records the inverse of an operation just applied (boosted storage
+  /// calls this immediately after each mutating operation).
+  void log_inverse(UndoLog::Inverse inverse);
+
+  /// Lifecycle hook pair for *lazy* version management (the paper's §3
+  /// alternative: "An alternative lazy implementation could buffer
+  /// changes to a contract's storage, applying them only on commit").
+  /// `on_commit` applies the buffered changes; `on_abort` discards them.
+  struct LifecycleHook {
+    std::function<void()> on_commit;
+    std::function<void()> on_abort;
+  };
+
+  /// Registers a hook. On root commit the on_commit callbacks run, in
+  /// registration order, while every lock is still held (so deferred
+  /// writes are as isolated as eager ones); on abort — or on a root
+  /// commit with reverted == true — the on_abort callbacks run instead.
+  /// Nested commit transfers hooks to the parent; nested abort runs the
+  /// child's on_abort only.
+  void add_hook(LifecycleHook hook);
+
+  /// Commits a root action: bumps the use counter of every held lock,
+  /// captures the lock profile, releases everything. With
+  /// `reverted == true` (Solidity `throw`) the undo log is replayed first
+  /// but the profile is still published — a reverted transaction's
+  /// schedule position is semantically meaningful (see LockProfile).
+  /// Throws ConflictAbort (after undoing) if this action was doomed.
+  [[nodiscard]] LockProfile commit(bool reverted = false);
+
+  /// Commits a nested action: transfers its locks and its undo log to the
+  /// parent.
+  void commit_nested();
+
+  /// Aborts: replays the undo log. A root action releases its locks; an
+  /// aborted *nested* action transfers its locks to its parent instead
+  /// (closed nesting — the parent observed the child's outcome, so the
+  /// child's footprint stays in the lineage; see the comment in the
+  /// implementation for why the paper's release-on-child-abort wording is
+  /// unsound for deterministic replay).
+  void abort() noexcept;
+
+  [[nodiscard]] bool is_root() const noexcept { return parent_ == nullptr; }
+  [[nodiscard]] std::uint32_t tx() const noexcept { return tx_; }
+  [[nodiscard]] std::uint64_t root_id() const noexcept { return root_id_; }
+  [[nodiscard]] bool active() const noexcept { return state_ == State::kActive; }
+  [[nodiscard]] std::size_t held_lock_count() const noexcept { return held_.size(); }
+  [[nodiscard]] std::size_t undo_size() const noexcept { return undo_.size(); }
+
+  /// True when this lineage has been selected as a deadlock victim.
+  [[nodiscard]] bool doomed() const noexcept {
+    return root_->doomed_.load(std::memory_order_acquire);
+  }
+
+  /// Marks the lineage for abort. Called by the deadlock detector (under
+  /// its own mutex) and safe to call concurrently with the action running.
+  void doom() noexcept { root_->doomed_.store(true, std::memory_order_release); }
+
+ private:
+  enum class State : std::uint8_t { kActive, kCommitted, kAborted };
+
+  /// Removes this action's holder entries, optionally bumping use counters
+  /// into `profile`.
+  void release_held(LockProfile* profile) noexcept;
+
+  BoostingRuntime& rt_;
+  SpeculativeAction* parent_ = nullptr;  ///< Null for roots.
+  SpeculativeAction* root_ = nullptr;    ///< This, for roots.
+  std::uint32_t tx_ = 0;
+  std::uint64_t root_id_ = 0;  ///< Birth stamp of the root (lineage id).
+  std::atomic<bool> doomed_{false};
+  UndoLog undo_;
+  std::vector<AbstractLock*> held_;  ///< Locks whose holder entry this action owns.
+  std::vector<LifecycleHook> hooks_;  ///< Lazy-storage commit/abort callbacks.
+  State state_ = State::kActive;
+};
+
+}  // namespace concord::stm

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace concord::stm {
+
+/// Log of inverse operations for one speculative action (paper §3:
+/// "Once the lock is acquired, the thread records an inverse operation in
+/// a log, and proceeds with the operation").
+///
+/// On abort the log is replayed "most recent operation first". Inverses
+/// are closures provided by the boosted storage objects; each closure is
+/// responsible for taking the storage object's internal mutex, so replay
+/// is safe while other speculative actions operate on disjoint abstract
+/// locks of the same object.
+class UndoLog {
+ public:
+  using Inverse = std::function<void()>;
+
+  /// Records the inverse of an operation that has just been applied.
+  void record(Inverse inverse) { entries_.push_back(std::move(inverse)); }
+
+  /// Applies all recorded inverses in reverse order, leaving the log empty.
+  void replay_and_clear() {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) (*it)();
+    entries_.clear();
+  }
+
+  /// Discards the log without applying it (commit path).
+  void clear() noexcept { entries_.clear(); }
+
+  /// Position marker for partial rollback (serial-mode nested calls).
+  [[nodiscard]] std::size_t mark() const noexcept { return entries_.size(); }
+
+  /// Applies, newest first, only the inverses recorded after `from`, then
+  /// discards them. Used by non-speculative execution to roll back a
+  /// reverted nested call without disturbing the caller's earlier effects.
+  void replay_tail_and_discard(std::size_t from) {
+    while (entries_.size() > from) {
+      entries_.back()();
+      entries_.pop_back();
+    }
+  }
+
+  /// Moves this log's entries to the *end* of `parent`, preserving order,
+  /// so that a later parent abort undoes the child's operations at the
+  /// right point. Implements the paper's nested-commit rule: "its inverse
+  /// log is appended to its parent's log".
+  void append_to(UndoLog& parent) {
+    parent.entries_.insert(parent.entries_.end(), std::make_move_iterator(entries_.begin()),
+                           std::make_move_iterator(entries_.end()));
+    entries_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<Inverse> entries_;
+};
+
+}  // namespace concord::stm

@@ -1,0 +1,52 @@
+#include "util/cycle_burner.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace concord::util {
+
+std::uint64_t burn_iterations(std::uint64_t iterations) noexcept {
+  // xorshift64 mix; cheap, branch-free, and impossible for the compiler to
+  // collapse because every iteration depends on the previous one.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL + iterations;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+namespace {
+
+std::uint64_t calibrate() noexcept {
+  using Clock = std::chrono::steady_clock;
+  // Warm up the core/frequency governor before timing.
+  volatile std::uint64_t sink = burn_iterations(200'000);
+  (void)sink;
+
+  constexpr std::uint64_t kProbe = 2'000'000;
+  const auto start = Clock::now();
+  sink = burn_iterations(kProbe);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start);
+  const double nanos = static_cast<double>(elapsed.count());
+  if (nanos <= 0.0) return 1000;  // Defensive; steady_clock should never do this.
+  const double per_us = static_cast<double>(kProbe) * 1000.0 / nanos;
+  return per_us < 1.0 ? 1 : static_cast<std::uint64_t>(per_us);
+}
+
+}  // namespace
+
+std::uint64_t iterations_per_microsecond() noexcept {
+  // Initialization of a local static is thread-safe; calibration runs once.
+  static const std::uint64_t cached = calibrate();
+  return cached;
+}
+
+std::uint64_t burn_microseconds(double micros) noexcept {
+  if (micros <= 0.0) return 0;
+  const double iters = micros * static_cast<double>(iterations_per_microsecond());
+  return burn_iterations(static_cast<std::uint64_t>(iters));
+}
+
+}  // namespace concord::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace concord::util {
+
+/// Deterministic CPU work generator standing in for EVM interpretation
+/// cost.
+///
+/// The paper's prototype runs contracts on the JVM, where every storage
+/// operation and every bytecode step costs on the order of a microsecond;
+/// that work-to-synchronization ratio is what shapes the speedup curves in
+/// Figure 1. Translated to native C++, the same contract bodies execute in
+/// tens of nanoseconds, so thread-pool overhead would dominate everything
+/// and every configuration would resemble the paper's 10-transaction
+/// blocks. The VM therefore burns a calibrated number of arithmetic
+/// iterations per unit of gas charged (see DESIGN.md §2, "Substitutions").
+///
+/// The loop is a xorshift mix whose result is returned and accumulated by
+/// callers into a sink checked at the end of a run, which prevents the
+/// optimizer from deleting the work.
+[[nodiscard]] std::uint64_t burn_iterations(std::uint64_t iterations) noexcept;
+
+/// Measures, once per process, how many burn iterations fit in one
+/// microsecond on this machine, so that gas costs translate to a stable
+/// wall-clock cost across hosts. Thread-safe; the first caller pays the
+/// calibration cost (~10 ms).
+[[nodiscard]] std::uint64_t iterations_per_microsecond() noexcept;
+
+/// Burns approximately `micros` microseconds of CPU.
+std::uint64_t burn_microseconds(double micros) noexcept;
+
+}  // namespace concord::util

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace concord::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256** by Blackman & Vigna).
+///
+/// All workload generation and all synthetic "VM work" in this repository
+/// flow through this generator so that every experiment is reproducible
+/// from a seed. `std::mt19937_64` is avoided because its state is large
+/// and its distributions are not guaranteed to be identical across
+/// standard-library implementations; xoshiro256** has a fixed, documented
+/// output sequence.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64,
+  /// which is the initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed`, as if freshly constructed.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be non-zero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial: true with probability `percent`/100.
+  bool chance_percent(unsigned percent) noexcept {
+    return below(100) < percent;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace concord::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace concord::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// The benchmark harness mirrors the paper's §7.2 methodology: each
+/// configuration is measured five times after three warm-ups, and the mean
+/// and standard deviation are reported (Appendix B plots both).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Summary of a set of timed runs, in milliseconds.
+struct TimingSummary {
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Collapses raw per-run durations into a TimingSummary.
+inline TimingSummary summarize_ms(const std::vector<double>& runs_ms) {
+  RunningStats stats;
+  for (const double ms : runs_ms) stats.add(ms);
+  return TimingSummary{stats.mean(), stats.stddev(), stats.count()};
+}
+
+}  // namespace concord::util

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+#include "vm/boosted_map.hpp"
+#include "vm/codec.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/gas.hpp"
+#include "vm/state_hasher.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// A boosted map from keys to integer totals where *absent ≡ 0*.
+///
+/// This is the abstract type behind `proposals[p].voteCount += weight`,
+/// `pendingReturns[bidder] += bid` and account balances. Formalizing it as
+/// "a total function from keys to integers, zero by default" is what makes
+/// `add` genuinely commutative in the boosting sense: two adds to the same
+/// key map to a shared INCREMENT-mode abstract lock and run concurrently,
+/// and the inverse of add(k, d) is add(k, -d) — which commutes with other
+/// in-flight adds, so aborts are sound even under lock sharing.
+///
+/// The zero-normalization invariant (no entry ever stores 0) makes the
+/// physical representation a function of the abstract value, so state
+/// roots are identical no matter which interleaving of adds, aborts and
+/// retries produced them.
+template <typename K>
+class BoostedCounterMap {
+ public:
+  using Value = std::int64_t;
+
+  explicit BoostedCounterMap(std::uint64_t space) : space_(space) {}
+
+  BoostedCounterMap(const BoostedCounterMap&) = delete;
+  BoostedCounterMap& operator=(const BoostedCounterMap&) = delete;
+
+  // --- Transactional storage operations -------------------------------
+
+  /// Reads the total for `key` (0 when no entry). READ mode — commutes
+  /// with other reads, conflicts with add and set.
+  [[nodiscard]] Value get(ExecContext& ctx, const K& key) const {
+    ctx.gas().charge(gas::kSload);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? it->second : 0;
+  }
+
+  /// Reads the total for `key` while acquiring the lock in WRITE mode
+  /// ("SELECT FOR UPDATE"); for read-then-overwrite sequences such as
+  /// withdraw()'s read-balance-then-zero. See BoostedScalar::get_for_update.
+  [[nodiscard]] Value get_for_update(ExecContext& ctx, const K& key) const {
+    ctx.gas().charge(gas::kSload);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? it->second : 0;
+  }
+
+  /// Adds `delta` to the total for `key`. INCREMENT mode — commutes with
+  /// concurrent adds on the same key, so a block full of votes for the
+  /// same proposal still mines in parallel.
+  void add(ExecContext& ctx, const K& key, Value delta) {
+    ctx.gas().charge(gas::kSinc);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kIncrement);
+    raw_add(key, delta);
+    ctx.log_inverse([this, key, delta]() { raw_add(key, -delta); });
+  }
+
+  /// Overwrites the total for `key`. WRITE mode — conflicts with
+  /// everything; used for non-commutative updates such as zeroing a
+  /// pending return on withdrawal.
+  void set(ExecContext& ctx, const K& key, Value value) {
+    ctx.gas().charge(gas::kSstore);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    Value old = 0;
+    {
+      std::scoped_lock lk(mu_);
+      const auto it = data_.find(key);
+      old = it != data_.end() ? it->second : 0;
+      store_normalized(key, value);
+    }
+    ctx.log_inverse([this, key, old]() {
+      std::scoped_lock lk(mu_);
+      store_normalized(key, old);
+    });
+  }
+
+  // --- Non-transactional access (genesis state, tests, inspection) ----
+
+  void raw_set(const K& key, Value value) {
+    std::scoped_lock lk(mu_);
+    store_normalized(key, value);
+  }
+
+  [[nodiscard]] Value raw_get(const K& key) const {
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? it->second : 0;
+  }
+
+  /// Number of non-zero entries.
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return data_.size();
+  }
+
+  /// Sum over all entries (diagnostic; e.g. total supply conservation).
+  [[nodiscard]] Value raw_total() const {
+    std::scoped_lock lk(mu_);
+    Value total = 0;
+    for (const auto& [key, value] : data_) total += value;
+    return total;
+  }
+
+  void hash_state(StateHasher& hasher, std::string_view label) const {
+    hasher.begin_section(label);
+    std::scoped_lock lk(mu_);
+    std::vector<std::pair<std::vector<std::uint8_t>, Value>> items;
+    items.reserve(data_.size());
+    for (const auto& [key, value] : data_) {
+      items.emplace_back(encoded_bytes(key), value);
+    }
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    hasher.put_u64(items.size());
+    for (const auto& [key_bytes, value] : items) {
+      hasher.put_bytes(key_bytes);
+      hasher.put_u64(static_cast<std::uint64_t>(value));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t space() const noexcept { return space_; }
+
+ private:
+  [[nodiscard]] stm::LockId lock_id(const K& key) const noexcept {
+    return stm::LockId{space_, lock_key_of(key)};
+  }
+
+  /// Caller may or may not hold mu_ — this variant takes it.
+  void raw_add(const K& key, Value delta) {
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    const Value current = it != data_.end() ? it->second : 0;
+    store_normalized_at(it, key, current + delta);
+  }
+
+  /// Caller holds mu_.
+  void store_normalized(const K& key, Value value) {
+    store_normalized_at(data_.find(key), key, value);
+  }
+
+  /// Caller holds mu_. Maintains the no-zero-entries invariant.
+  void store_normalized_at(typename std::unordered_map<K, Value, StableKeyHash>::iterator it,
+                           const K& key, Value value) {
+    if (value == 0) {
+      if (it != data_.end()) data_.erase(it);
+    } else if (it != data_.end()) {
+      it->second = value;
+    } else {
+      data_.emplace(key, value);
+    }
+  }
+
+  std::uint64_t space_;
+  mutable std::mutex mu_;
+  std::unordered_map<K, Value, StableKeyHash> data_;
+};
+
+}  // namespace concord::vm

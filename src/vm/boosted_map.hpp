@@ -1,0 +1,212 @@
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+#include "vm/codec.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/gas.hpp"
+#include "vm/state_hasher.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// Hasher funnelling all supported key types through the deterministic
+/// lock_key_of overloads (std::hash is implementation-defined; we use one
+/// hash function everywhere so behaviour is identical across hosts).
+struct StableKeyHash {
+  template <typename K>
+  [[nodiscard]] std::size_t operator()(const K& k) const noexcept {
+    return static_cast<std::size_t>(lock_key_of(k));
+  }
+};
+
+/// The paper's boosted hashtable: "Solidity mapping objects are
+/// implemented as boosted hashtables, where key values are used to index
+/// abstract locks" (§6).
+///
+/// Each transactional operation (1) charges gas, (2) declares itself to
+/// the ExecContext — which acquires the per-key abstract lock when mining
+/// speculatively — then (3) applies to the underlying table under a short
+/// internal mutex (the abstract lock provides *logical* isolation; the
+/// mutex protects the *physical* hash table, e.g. against concurrent
+/// rehash), and (4) logs its inverse for rollback.
+///
+/// K must be one of the lock_key_of-supported key types; V must be
+/// encodable (see codec.hpp) and copyable (old values are captured by
+/// inverses).
+template <typename K, typename V>
+class BoostedMap {
+ public:
+  /// `space` is the abstract-lock space, normally Contract::field_space().
+  explicit BoostedMap(std::uint64_t space) : space_(space) {}
+
+  BoostedMap(const BoostedMap&) = delete;
+  BoostedMap& operator=(const BoostedMap&) = delete;
+
+  // --- Transactional storage operations -------------------------------
+
+  /// Reads the value bound to `key`. READ mode: lookups of distinct keys
+  /// commute, and so do concurrent lookups of the same key.
+  [[nodiscard]] std::optional<V> get(ExecContext& ctx, const K& key) const {
+    ctx.gas().charge(gas::kSload);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+  }
+
+  /// Reads the value bound to `key`, or `fallback` when unbound. This is
+  /// Solidity's mapping semantics, where every key implicitly maps to a
+  /// default-constructed value.
+  [[nodiscard]] V get_or(ExecContext& ctx, const K& key, V fallback) const {
+    auto v = get(ctx, key);
+    return v ? std::move(*v) : std::move(fallback);
+  }
+
+  /// Reads the value bound to `key` while acquiring the lock in WRITE
+  /// mode ("SELECT FOR UPDATE"). Use when the transaction will write the
+  /// same key afterwards; see BoostedScalar::get_for_update for why
+  /// read-then-upgrade is an anti-pattern under contention.
+  [[nodiscard]] std::optional<V> get_for_update(ExecContext& ctx, const K& key) const {
+    ctx.gas().charge(gas::kSload);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+  }
+
+  [[nodiscard]] bool contains(ExecContext& ctx, const K& key) const {
+    ctx.gas().charge(gas::kSload);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    std::scoped_lock lk(mu_);
+    return data_.contains(key);
+  }
+
+  /// Binds `key` to `value`. WRITE mode: conflicts with everything on the
+  /// same key. The inverse restores the previous binding (or unbinds).
+  void put(ExecContext& ctx, const K& key, V value) {
+    ctx.gas().charge(gas::kSstore);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    std::optional<V> old;
+    {
+      std::scoped_lock lk(mu_);
+      const auto it = data_.find(key);
+      if (it != data_.end()) old = it->second;
+      data_.insert_or_assign(key, std::move(value));
+    }
+    ctx.log_inverse([this, key, old = std::move(old)]() {
+      std::scoped_lock lk(mu_);
+      if (old) {
+        data_.insert_or_assign(key, *old);
+      } else {
+        data_.erase(key);
+      }
+    });
+  }
+
+  /// Removes the binding for `key`; returns whether one existed. WRITE
+  /// mode ("binding Alice's address to a vote of 42 ... does not commute
+  /// when deleting Alice's vote" — paper §3).
+  bool erase(ExecContext& ctx, const K& key) {
+    ctx.gas().charge(gas::kSstore);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    std::optional<V> old;
+    {
+      std::scoped_lock lk(mu_);
+      const auto it = data_.find(key);
+      if (it == data_.end()) return false;
+      old = std::move(it->second);
+      data_.erase(it);
+    }
+    ctx.log_inverse([this, key, old = std::move(old)]() {
+      std::scoped_lock lk(mu_);
+      data_.insert_or_assign(key, *old);
+    });
+    return true;
+  }
+
+  /// Reads, transforms and writes back the value at `key` in one WRITE
+  /// operation (one gas charge for load + store; one lock acquisition).
+  /// `fn` receives a mutable reference to the value, inserting `fallback`
+  /// first when the key is unbound. This is how struct-valued mappings
+  /// update a single member (e.g. `voters[msg.sender].voted = true`).
+  template <typename Fn>
+  void update(ExecContext& ctx, const K& key, V fallback, Fn&& fn) {
+    ctx.gas().charge(gas::kSload + gas::kSstore);
+    ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    std::optional<V> old;
+    {
+      std::scoped_lock lk(mu_);
+      auto [it, inserted] = data_.try_emplace(key, std::move(fallback));
+      if (!inserted) old = it->second;
+      fn(it->second);
+    }
+    ctx.log_inverse([this, key, old = std::move(old)]() {
+      std::scoped_lock lk(mu_);
+      if (old) {
+        data_.insert_or_assign(key, *old);
+      } else {
+        data_.erase(key);
+      }
+    });
+  }
+
+  // --- Non-transactional access (genesis state, tests, inspection) ----
+
+  void raw_put(const K& key, V value) {
+    std::scoped_lock lk(mu_);
+    data_.insert_or_assign(key, std::move(value));
+  }
+
+  [[nodiscard]] std::optional<V> raw_get(const K& key) const {
+    std::scoped_lock lk(mu_);
+    const auto it = data_.find(key);
+    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return data_.size();
+  }
+
+  /// Folds every entry into the state root, sorted by encoded key so the
+  /// digest is independent of hash-table iteration order.
+  void hash_state(StateHasher& hasher, std::string_view label) const {
+    hasher.begin_section(label);
+    std::scoped_lock lk(mu_);
+    std::vector<std::pair<std::vector<std::uint8_t>, const V*>> items;
+    items.reserve(data_.size());
+    for (const auto& [key, value] : data_) {
+      items.emplace_back(encoded_bytes(key), &value);
+    }
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    hasher.put_u64(items.size());
+    for (const auto& [key_bytes, value] : items) {
+      hasher.put_bytes(key_bytes);
+      hasher.put_bytes(encoded_bytes(*value));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t space() const noexcept { return space_; }
+
+ private:
+  [[nodiscard]] stm::LockId lock_id(const K& key) const noexcept {
+    return stm::LockId{space_, lock_key_of(key)};
+  }
+
+  std::uint64_t space_;
+  mutable std::mutex mu_;
+  std::unordered_map<K, V, StableKeyHash> data_;
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <concepts>
+#include <string>
+#include <type_traits>
+
+#include "util/bytes.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// Deterministic value encoding used for two purposes that must agree
+/// byte-for-byte between miners and validators on different machines:
+/// state-root hashing (every storage value is folded into the root) and
+/// transaction-argument serialization.
+///
+/// Built-in overloads cover integers, bool, strings and Address; struct
+/// values stored in boosted maps (e.g. Ballot's Voter) provide a member
+/// `void encode(util::ByteWriter&) const`, which the generic overload
+/// picks up.
+template <typename T>
+concept MemberEncodable = requires(const T& v, util::ByteWriter& w) {
+  { v.encode(w) };
+};
+
+inline void encode_value(util::ByteWriter& w, bool v) { w.put_u8(v ? 1 : 0); }
+
+template <std::unsigned_integral T>
+  requires(!std::same_as<T, bool>)
+void encode_value(util::ByteWriter& w, T v) {
+  w.put_varint(static_cast<std::uint64_t>(v));
+}
+
+template <std::signed_integral T>
+void encode_value(util::ByteWriter& w, T v) {
+  // Zigzag so small negative values stay compact and encoding is bijective.
+  const auto wide = static_cast<std::int64_t>(v);
+  w.put_varint((static_cast<std::uint64_t>(wide) << 1) ^
+               static_cast<std::uint64_t>(wide >> 63));
+}
+
+inline void encode_value(util::ByteWriter& w, const std::string& v) { w.put_string(v); }
+
+inline void encode_value(util::ByteWriter& w, const Address& v) { w.put_raw(v.bytes); }
+
+template <MemberEncodable T>
+void encode_value(util::ByteWriter& w, const T& v) {
+  v.encode(w);
+}
+
+template <typename T>
+void encode_value(util::ByteWriter& w, const std::vector<T>& v) {
+  w.put_varint(v.size());
+  for (const T& item : v) encode_value(w, item);
+}
+
+/// Canonical byte-string form of a value, used to order map entries
+/// deterministically when hashing state.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> encoded_bytes(const T& v) {
+  util::ByteWriter w;
+  encode_value(w, v);
+  return std::move(w).take();
+}
+
+}  // namespace concord::vm

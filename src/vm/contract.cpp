@@ -1,0 +1,35 @@
+#include "vm/contract.hpp"
+
+#include "vm/errors.hpp"
+
+namespace concord::vm {
+
+Contract& ContractRegistry::add(std::unique_ptr<Contract> contract) {
+  const Address address = contract->address();
+  auto [it, inserted] = contracts_.try_emplace(address, std::move(contract));
+  if (!inserted) throw BadCall("contract address already in use: " + address.to_hex());
+  return *it->second;
+}
+
+Contract* ContractRegistry::find(const Address& address) const {
+  const auto it = contracts_.find(address);
+  return it != contracts_.end() ? it->second.get() : nullptr;
+}
+
+Contract& ContractRegistry::at(const Address& address) const {
+  Contract* contract = find(address);
+  if (contract == nullptr) throw BadCall("no contract at address " + address.to_hex());
+  return *contract;
+}
+
+void ContractRegistry::hash_state(StateHasher& hasher) const {
+  hasher.begin_section("contracts");
+  hasher.put_u64(contracts_.size());
+  for (const auto& [address, contract] : contracts_) {
+    hasher.begin_section(contract->name());
+    hasher.put_bytes(address.bytes);
+    contract->hash_state(hasher);
+  }
+}
+
+}  // namespace concord::vm

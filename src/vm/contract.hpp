@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "vm/exec_context.hpp"
+#include "vm/state_hasher.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// One external or nested invocation of a contract function: selector plus
+/// serialized arguments. The outermost Call of a transaction is derived
+/// from the on-chain Transaction by the miner/validator.
+struct Call {
+  Selector selector = 0;
+  std::span<const std::uint8_t> args;
+};
+
+/// Base class for smart contracts ("A smart contract resembles an object
+/// in a programming language. It manages long-lived state... manipulated
+/// by a set of functions" — paper §1).
+///
+/// Implementations own boosted storage fields, dispatch on Call::selector
+/// in execute(), and fold their full persistent state into hash_state()
+/// in a fixed field order.
+class Contract {
+ public:
+  Contract(Address address, std::string name)
+      : address_(address), name_(std::move(name)) {}
+
+  virtual ~Contract() = default;
+  Contract(const Contract&) = delete;
+  Contract& operator=(const Contract&) = delete;
+
+  [[nodiscard]] const Address& address() const noexcept { return address_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Executes one call against this contract. Must be deterministic given
+  /// storage state and arguments; signals failure with RevertError.
+  virtual void execute(const Call& call, ExecContext& ctx) = 0;
+
+  /// Folds the contract's complete persistent state into `hasher`.
+  virtual void hash_state(StateHasher& hasher) const = 0;
+
+ protected:
+  /// Deterministic abstract-lock space for a state variable of this
+  /// contract: miners and validators on different machines derive the
+  /// same value from (contract address, field name).
+  [[nodiscard]] std::uint64_t field_space(std::string_view field) const noexcept {
+    return stm::mix64(address_.stable_hash() ^ stm::fnv1a64(field));
+  }
+
+ private:
+  Address address_;
+  std::string name_;
+};
+
+/// Owning registry of all deployed contracts, addressable by Address.
+/// Iteration order is the address order, which keeps state hashing
+/// deterministic.
+class ContractRegistry {
+ public:
+  /// Deploys a contract; the registry takes ownership. Throws BadCall if
+  /// the address is already taken.
+  Contract& add(std::unique_ptr<Contract> contract);
+
+  /// Returns the contract at `address` or nullptr.
+  [[nodiscard]] Contract* find(const Address& address) const;
+
+  /// Returns the contract at `address`; throws BadCall when absent.
+  [[nodiscard]] Contract& at(const Address& address) const;
+
+  /// Typed accessor for examples/tests: `registry.as<Ballot>(addr)`.
+  template <typename T>
+  [[nodiscard]] T& as(const Address& address) const {
+    return dynamic_cast<T&>(at(address));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return contracts_.size(); }
+
+  /// Folds every contract's state, in address order.
+  void hash_state(StateHasher& hasher) const;
+
+ private:
+  std::map<Address, std::unique_ptr<Contract>> contracts_;
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace concord::vm {
+
+/// Solidity `throw`: "causes the contract's transient state and tentative
+/// storage changes to be discarded" (paper §2). Raised by contract code;
+/// the transaction runner catches it, rolls the transaction's effects
+/// back, and records the transaction as reverted. Unlike
+/// stm::ConflictAbort, a revert is a *semantic* outcome: it is part of the
+/// block's meaning and must reproduce identically under validation, so it
+/// is never retried.
+class RevertError : public std::runtime_error {
+ public:
+  explicit RevertError(const std::string& reason) : std::runtime_error(reason) {}
+};
+
+/// The transaction exhausted its gas allowance ("If the charge exceeds
+/// what the client is willing to pay, the computation is terminated and
+/// rolled back" — paper §1). Handled exactly like RevertError except for
+/// the recorded status.
+class OutOfGas : public std::runtime_error {
+ public:
+  OutOfGas() : std::runtime_error("out of gas") {}
+};
+
+/// A transaction addressed a contract or selector that does not exist, or
+/// carried malformed arguments. Deterministic, so treated as a revert.
+class BadCall : public RevertError {
+ public:
+  explicit BadCall(const std::string& reason) : RevertError(reason) {}
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,64 @@
+#include "vm/exec_context.hpp"
+
+#include "vm/errors.hpp"
+
+namespace concord::vm {
+
+namespace {
+/// Restores the innermost-action pointer and pops the callee msg frame on
+/// every exit path from a nested call.
+class NestedFrame {
+ public:
+  NestedFrame(ExecContext& ctx, stm::SpeculativeAction** slot, stm::SpeculativeAction* saved)
+      : ctx_(ctx), slot_(slot), saved_(saved) {}
+  ~NestedFrame() {
+    if (slot_ != nullptr) *slot_ = saved_;
+    ctx_.pop_msg();
+  }
+  NestedFrame(const NestedFrame&) = delete;
+  NestedFrame& operator=(const NestedFrame&) = delete;
+
+ private:
+  ExecContext& ctx_;
+  stm::SpeculativeAction** slot_;
+  stm::SpeculativeAction* saved_;
+};
+}  // namespace
+
+bool ExecContext::nested_call(const Address& callee, Amount value,
+                              const std::function<void(ExecContext&)>& body) {
+  gas_.charge(gas::kCallBase);
+  push_msg(MsgContext{.sender = msg().receiver, .receiver = callee, .value = value});
+
+  if (mode_ == ExecMode::kSpeculative) {
+    // "When one smart contract calls another, the run-time system creates
+    // a nested speculative action, which can commit or abort independently
+    // of its parent."
+    stm::SpeculativeAction child(*action_);
+    const NestedFrame frame(*this, &action_, action_);
+    action_ = &child;
+    try {
+      body(*this);
+      child.commit_nested();
+      return true;
+    } catch (const RevertError&) {
+      child.abort();
+      return false;
+    }
+    // Other exceptions (ConflictAbort, OutOfGas) unwind through the
+    // child's destructor, which aborts it — undoing its effects and
+    // releasing its locks — before the frame guard restores the parent.
+  }
+
+  const NestedFrame frame(*this, nullptr, nullptr);
+  const std::size_t mark = local_undo_.mark();
+  try {
+    body(*this);
+    return true;
+  } catch (const RevertError&) {
+    local_undo_.replay_tail_and_discard(mark);
+    return false;
+  }
+}
+
+}  // namespace concord::vm

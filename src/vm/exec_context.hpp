@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+#include "stm/runtime.hpp"
+#include "stm/speculative_action.hpp"
+#include "stm/undo_log.hpp"
+#include "vm/gas.hpp"
+#include "vm/msg.hpp"
+#include "vm/trace.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+class World;
+
+/// How a transaction is being executed. The same contract code runs under
+/// all three — the mode only changes what a storage operation does before
+/// touching data.
+enum class ExecMode : std::uint8_t {
+  /// Plain single-threaded execution (the paper's serial miner baseline
+  /// and the serial validator). Storage ops go straight to data.
+  kSerial,
+  /// Speculative mining (paper §3): every storage op first acquires the
+  /// abstract lock through the transaction's SpeculativeAction; inverses
+  /// go to the action's undo log.
+  kSpeculative,
+  /// Deterministic replay (paper §4): no locks and no conflict detection —
+  /// the fork-join schedule already serializes conflicting transactions —
+  /// but each op appends to a thread-local TraceRecorder for the
+  /// profile-equivalence check.
+  kReplay,
+};
+
+/// Per-transaction execution environment handed to contract code.
+///
+/// Exactly one ExecContext exists per transaction *attempt*; it owns the
+/// attempt's gas meter, its Solidity `msg` stack, and (in non-speculative
+/// modes) the local undo log used to roll back reverts.
+class ExecContext {
+ public:
+  /// Serial execution against `world`.
+  static ExecContext serial(World& world, GasMeter meter) {
+    return ExecContext(ExecMode::kSerial, world, meter);
+  }
+
+  /// Speculative execution: locks come from `rt`, undo goes to `action`.
+  static ExecContext speculative(World& world, stm::BoostingRuntime& rt,
+                                 stm::SpeculativeAction& action, GasMeter meter) {
+    ExecContext ctx(ExecMode::kSpeculative, world, meter);
+    ctx.runtime_ = &rt;
+    ctx.action_ = &action;
+    return ctx;
+  }
+
+  /// Deterministic replay: storage ops are recorded into `trace`.
+  static ExecContext replay(World& world, TraceRecorder& trace, GasMeter meter) {
+    ExecContext ctx(ExecMode::kReplay, world, meter);
+    ctx.trace_ = &trace;
+    return ctx;
+  }
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+  ExecContext(ExecContext&&) = default;
+
+  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+  [[nodiscard]] World& world() const noexcept { return *world_; }
+  [[nodiscard]] GasMeter& gas() noexcept { return gas_; }
+
+  /// The innermost active speculative action, or nullptr outside
+  /// speculative mode. Lazy storage uses it to register commit/abort
+  /// hooks and to key its per-lineage write buffers.
+  [[nodiscard]] stm::SpeculativeAction* speculative_action() const noexcept { return action_; }
+
+  /// The innermost Solidity `msg` frame.
+  [[nodiscard]] const MsgContext& msg() const {
+    assert(!msg_stack_.empty() && "msg() outside of a call frame");
+    return msg_stack_.back();
+  }
+
+  /// Ablation switch (bench_ablation_modes): treat every storage op as
+  /// WRITE, i.e. the paper's strictly-mutual-exclusion abstract locks
+  /// without the footnote-3 shared/commutative modes. Miner and validator
+  /// must agree on this flag, since it changes published profiles.
+  void set_exclusive_locks_only(bool on) noexcept { exclusive_locks_only_ = on; }
+  [[nodiscard]] bool exclusive_locks_only() const noexcept { return exclusive_locks_only_; }
+
+  /// Declares a storage operation on abstract lock `id` with `mode`.
+  /// Speculative: acquires the lock (may block, may throw ConflictAbort).
+  /// Replay: records the op. Serial: nothing.
+  void on_storage_op(const stm::LockId& id, stm::LockMode mode) {
+    if (exclusive_locks_only_) mode = stm::LockMode::kWrite;
+    switch (mode_) {
+      case ExecMode::kSpeculative:
+        action_->acquire(runtime_->locks().get(id), mode);
+        break;
+      case ExecMode::kReplay:
+        trace_->record(id, mode);
+        break;
+      case ExecMode::kSerial:
+        break;
+    }
+  }
+
+  /// Records the inverse of a mutation just applied. Routed to the
+  /// speculative action's log or, in serial/replay, to the local log that
+  /// backs revert rollback.
+  void log_inverse(stm::UndoLog::Inverse inverse) {
+    if (mode_ == ExecMode::kSpeculative) {
+      action_->log_inverse(std::move(inverse));
+    } else {
+      local_undo_.record(std::move(inverse));
+    }
+  }
+
+  /// Calls another contract as a nested action (paper §3). The callee runs
+  /// with msg.sender set to the calling contract. Returns false when the
+  /// callee reverted; its effects (only) have been undone and the caller
+  /// may continue — "Aborting a child action does not abort the parent."
+  /// ConflictAbort and OutOfGas propagate: they terminate the whole
+  /// transaction attempt.
+  bool nested_call(const Address& callee, Amount value,
+                   const std::function<void(ExecContext&)>& body);
+
+  /// Pushes/pops an outermost call frame; used by the transaction runner.
+  void push_msg(const MsgContext& m) { msg_stack_.push_back(m); }
+  void pop_msg() {
+    assert(!msg_stack_.empty());
+    msg_stack_.pop_back();
+  }
+
+  /// Rolls back every effect of this attempt (top-level revert handling in
+  /// serial/replay modes — speculative rollback is the action's job).
+  void rollback_local() {
+    assert(mode_ != ExecMode::kSpeculative);
+    local_undo_.replay_and_clear();
+  }
+
+  /// Discards the local undo log after a successful non-speculative
+  /// attempt (its effects are final).
+  void commit_local() {
+    assert(mode_ != ExecMode::kSpeculative);
+    local_undo_.clear();
+  }
+
+  /// Size of the non-speculative undo log (tests).
+  [[nodiscard]] std::size_t local_undo_size() const noexcept { return local_undo_.size(); }
+
+ private:
+  ExecContext(ExecMode mode, World& world, GasMeter meter)
+      : mode_(mode), world_(&world), gas_(meter) {}
+
+  ExecMode mode_;
+  World* world_;
+  stm::BoostingRuntime* runtime_ = nullptr;   ///< Speculative only.
+  stm::SpeculativeAction* action_ = nullptr;  ///< Innermost active action.
+  TraceRecorder* trace_ = nullptr;            ///< Replay only.
+  stm::UndoLog local_undo_;                   ///< Serial/replay revert support.
+  GasMeter gas_;
+  std::vector<MsgContext> msg_stack_;
+  bool exclusive_locks_only_ = false;
+};
+
+}  // namespace concord::vm

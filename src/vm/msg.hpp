@@ -1,0 +1,17 @@
+#pragma once
+
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// The Solidity `msg` global: "a global variable containing data about the
+/// contract's current invocation" (paper §2). A fresh MsgContext is pushed
+/// for every external call; nested contract-to-contract calls push one
+/// with `sender` set to the calling contract's address.
+struct MsgContext {
+  Address sender;    ///< Externally-owned account or calling contract.
+  Address receiver;  ///< The contract being invoked.
+  Amount value = 0;  ///< Currency attached to the call.
+};
+
+}  // namespace concord::vm

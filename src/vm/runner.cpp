@@ -1,0 +1,40 @@
+#include "vm/runner.hpp"
+
+#include "vm/errors.hpp"
+#include "vm/gas.hpp"
+
+namespace concord::vm {
+
+namespace {
+/// Keeps the msg stack balanced across every exit path, including
+/// ConflictAbort unwinding out of a speculative attempt.
+class MsgFrame {
+ public:
+  MsgFrame(ExecContext& ctx, const MsgContext& msg) : ctx_(ctx) { ctx_.push_msg(msg); }
+  ~MsgFrame() { ctx_.pop_msg(); }
+  MsgFrame(const MsgFrame&) = delete;
+  MsgFrame& operator=(const MsgFrame&) = delete;
+
+ private:
+  ExecContext& ctx_;
+};
+}  // namespace
+
+TxStatus run_call(Contract& contract, const Call& call, const MsgContext& msg, ExecContext& ctx) {
+  const MsgFrame frame(ctx, msg);
+  const bool speculative = ctx.mode() == ExecMode::kSpeculative;
+  try {
+    ctx.gas().charge(gas::kTxBase);
+    contract.execute(call, ctx);
+    if (!speculative) ctx.commit_local();
+    return TxStatus::kSuccess;
+  } catch (const OutOfGas&) {
+    if (!speculative) ctx.rollback_local();
+    return TxStatus::kOutOfGas;
+  } catch (const RevertError&) {
+    if (!speculative) ctx.rollback_local();
+    return TxStatus::kReverted;
+  }
+}
+
+}  // namespace concord::vm

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string_view>
+
+#include "vm/contract.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/msg.hpp"
+
+namespace concord::vm {
+
+/// Deterministic outcome of one transaction. Part of the block's meaning:
+/// a validator must reproduce the exact status vector, so status mismatch
+/// is a reject reason alongside state-root mismatch.
+enum class TxStatus : std::uint8_t {
+  kSuccess = 0,
+  kReverted = 1,  ///< Contract executed `throw`; effects undone.
+  kOutOfGas = 2,  ///< Gas limit exhausted; effects undone.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TxStatus s) noexcept {
+  switch (s) {
+    case TxStatus::kSuccess: return "success";
+    case TxStatus::kReverted: return "reverted";
+    case TxStatus::kOutOfGas: return "out-of-gas";
+  }
+  return "?";
+}
+
+/// Executes one outermost contract call within `ctx` and maps contract
+/// failures to a status.
+///
+/// In serial and replay modes a failure rolls the attempt's effects back
+/// before returning (and success discards the undo log). In speculative
+/// mode rollback is deliberately NOT performed here: the miner finishes
+/// the attempt via SpeculativeAction::commit(reverted) so that reverted
+/// transactions still publish their lock profiles (see LockProfile).
+/// stm::ConflictAbort always propagates — it is not a transaction outcome.
+[[nodiscard]] TxStatus run_call(Contract& contract, const Call& call, const MsgContext& msg,
+                                ExecContext& ctx);
+
+}  // namespace concord::vm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+#include "util/sha256.hpp"
+
+namespace concord::vm {
+
+/// Accumulates a deterministic digest of the world's persistent state (the
+/// "state root"). Contracts fold their fields in a fixed order; map-like
+/// storage sorts its entries by encoded key first. Ethereum uses a Merkle
+/// Patricia trie for incremental proofs; a flat SHA-256 over a canonical
+/// serialization gives the property the paper actually relies on —
+/// validators can compare "the block's initial and final states" — without
+/// the trie machinery, which is orthogonal to the concurrency scheme.
+class StateHasher {
+ public:
+  /// Starts a named section (contract address, field name); the label is
+  /// folded into the digest so that structurally different states cannot
+  /// collide by concatenation.
+  void begin_section(std::string_view label) {
+    writer_.put_string(label);
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) { writer_.put_bytes(bytes); }
+  void put_u64(std::uint64_t v) { writer_.put_varint(v); }
+
+  /// Finishes and returns the state root.
+  [[nodiscard]] util::Hash256 finish() const {
+    return util::sha256(std::span<const std::uint8_t>(writer_.bytes()));
+  }
+
+ private:
+  util::ByteWriter writer_;
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+#include "stm/lock_profile.hpp"
+
+namespace concord::vm {
+
+/// Thread-local record of the abstract locks one replayed transaction
+/// *would* have acquired (paper §4: "the validator's virtual machine
+/// records a trace of the abstract locks each thread would have acquired,
+/// had it been executing speculatively. This trace is thread-local,
+/// requiring no expensive inter-thread synchronization").
+///
+/// Repeated operations fold into the strongest mode per lock, mirroring
+/// how a speculative action's holder entry upgrades in place — so a trace
+/// is comparable 1:1 against a published LockProfile.
+class TraceRecorder {
+ public:
+  void record(const stm::LockId& id, stm::LockMode mode) {
+    auto [it, inserted] = footprint_.try_emplace(id, mode);
+    if (!inserted) it->second = stm::combine(it->second, mode);
+  }
+
+  void clear() { footprint_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return footprint_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return footprint_.size(); }
+
+  /// Canonical (lock, mode) list, sorted by lock id.
+  [[nodiscard]] std::vector<std::pair<stm::LockId, stm::LockMode>> canonical() const {
+    std::vector<std::pair<stm::LockId, stm::LockMode>> out(footprint_.begin(), footprint_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+  /// True when this trace touches exactly the locks in `profile`, each in
+  /// exactly the published mode. Counter values are not compared — the
+  /// ordering they encode is enforced structurally by the fork-join
+  /// program, and the state-root check catches order violations.
+  [[nodiscard]] bool matches(const stm::LockProfile& profile) const {
+    if (profile.entries.size() != footprint_.size()) return false;
+    for (const auto& entry : profile.entries) {
+      const auto it = footprint_.find(entry.lock);
+      if (it == footprint_.end() || it->second != entry.mode) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unordered_map<stm::LockId, stm::LockMode, stm::LockIdHash> footprint_;
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,9 @@
+#include "vm/types.hpp"
+
+#include "util/bytes.hpp"
+
+namespace concord::vm {
+
+std::string Address::to_hex() const { return util::to_hex(bytes); }
+
+}  // namespace concord::vm

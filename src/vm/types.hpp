@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "stm/lock_id.hpp"
+
+namespace concord::vm {
+
+/// A 160-bit account identifier, as in Ethereum ("The keys in this mapping
+/// are of built-in type address, which uniquely identifies Ethereum
+/// accounts (clients or other contracts)" — paper §2).
+struct Address {
+  std::array<std::uint8_t, 20> bytes{};
+
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  /// Deterministic test/workload factory: embeds `n` little-endian in the
+  /// first 8 bytes and a salt in byte 8 so related addresses stay distinct.
+  [[nodiscard]] static Address from_u64(std::uint64_t n, std::uint8_t salt = 0) noexcept {
+    Address a;
+    for (int i = 0; i < 8; ++i) a.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+    a.bytes[8] = salt;
+    return a;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (const auto b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Deterministic 64-bit digest used for abstract-lock keys; never uses
+  /// std::hash (implementation-defined and thus useless on the wire).
+  [[nodiscard]] std::uint64_t stable_hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto b : bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// The zero address — used, as in Solidity, as "no address" (e.g. an unset
+/// delegate).
+inline constexpr Address kZeroAddress{};
+
+/// In-process hasher for Address keys in std::unordered_map.
+struct AddressHash {
+  [[nodiscard]] std::size_t operator()(const Address& a) const noexcept {
+    return static_cast<std::size_t>(a.stable_hash());
+  }
+};
+
+/// Currency amount in the smallest unit (think wei). Signed so that the
+/// commutative-increment storage class can represent debits as negative
+/// deltas; contract logic enforces non-negativity where it matters.
+using Amount = std::int64_t;
+
+/// Function selector. Each contract declares an enum of selectors; the
+/// value is stable and appears in serialized transactions.
+using Selector = std::uint32_t;
+
+/// Deterministic lock-key derivations for the supported map key types.
+[[nodiscard]] inline std::uint64_t lock_key_of(std::uint64_t k) noexcept { return stm::mix64(k); }
+[[nodiscard]] inline std::uint64_t lock_key_of(std::int64_t k) noexcept {
+  return stm::mix64(static_cast<std::uint64_t>(k));
+}
+[[nodiscard]] inline std::uint64_t lock_key_of(std::uint32_t k) noexcept { return stm::mix64(k); }
+[[nodiscard]] inline std::uint64_t lock_key_of(const Address& k) noexcept { return k.stable_hash(); }
+[[nodiscard]] inline std::uint64_t lock_key_of(const std::string& k) noexcept {
+  return stm::fnv1a64(k);
+}
+
+}  // namespace concord::vm

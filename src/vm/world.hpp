@@ -1,0 +1,54 @@
+#pragma once
+
+#include "util/sha256.hpp"
+#include "vm/boosted_counter_map.hpp"
+#include "vm/contract.hpp"
+#include "vm/types.hpp"
+
+namespace concord::vm {
+
+/// The complete on-chain state a block executes against: the deployed
+/// contracts plus the native account balances ("each block also includes
+/// an explicit state capturing the cumulative effect of transactions in
+/// prior blocks" — paper §2).
+///
+/// Balances are a BoostedCounterMap, so plain transfers between distinct
+/// accounts commute and mine in parallel, while reads of a balance
+/// serialize against payments touching it — the same fine-grained
+/// semantics the contracts get.
+class World {
+ public:
+  World() : balances_(stm::fnv1a64("__world/balances")) {}
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] ContractRegistry& contracts() noexcept { return contracts_; }
+  [[nodiscard]] const ContractRegistry& contracts() const noexcept { return contracts_; }
+
+  [[nodiscard]] BoostedCounterMap<Address>& balances() noexcept { return balances_; }
+  [[nodiscard]] const BoostedCounterMap<Address>& balances() const noexcept { return balances_; }
+
+  /// Transfers `amount` between accounts as two commutative increments.
+  /// Overdraft protection is the caller's business (contracts check their
+  /// own invariants; checking here would force a READ and serialize all
+  /// payments from the same account — the classic boosting trade-off).
+  void transfer(ExecContext& ctx, const Address& from, const Address& to, Amount amount) {
+    balances_.add(ctx, from, -amount);
+    balances_.add(ctx, to, amount);
+  }
+
+  /// Canonical digest of all persistent state; the block's state root.
+  [[nodiscard]] util::Hash256 state_root() const {
+    StateHasher hasher;
+    contracts_.hash_state(hasher);
+    balances_.hash_state(hasher, "__world/balances");
+    return hasher.finish();
+  }
+
+ private:
+  ContractRegistry contracts_;
+  BoostedCounterMap<Address> balances_;
+};
+
+}  // namespace concord::vm

@@ -1,0 +1,218 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "contracts/ballot.hpp"
+#include "contracts/etherdoc.hpp"
+#include "contracts/simple_auction.hpp"
+#include "util/rng.hpp"
+
+namespace concord::workload {
+
+namespace {
+
+using contracts::Ballot;
+using contracts::EtherDoc;
+using contracts::SimpleAuction;
+
+// Address salts keep the actors of different benchmarks distinct even
+// when a Mixed fixture deploys all three contracts into one world.
+constexpr std::uint8_t kContractSalt = 0xCC;
+constexpr std::uint8_t kVoterSalt = 0x01;
+constexpr std::uint8_t kBidderSalt = 0x02;
+constexpr std::uint8_t kOwnerSalt = 0x03;
+constexpr std::uint8_t kPersonaSalt = 0x04;  // chairpersons, beneficiaries, creators
+
+const vm::Address kBallotAddr = vm::Address::from_u64(1, kContractSalt);
+const vm::Address kAuctionAddr = vm::Address::from_u64(2, kContractSalt);
+const vm::Address kEtherDocAddr = vm::Address::from_u64(3, kContractSalt);
+
+const vm::Address kChairperson = vm::Address::from_u64(1, kPersonaSalt);
+const vm::Address kBeneficiary = vm::Address::from_u64(2, kPersonaSalt);
+const vm::Address kCreator = vm::Address::from_u64(3, kPersonaSalt);
+
+/// Fisher–Yates with the fixture RNG: block order is deterministic per
+/// seed but uncorrelated with how conflicts were laid out.
+void shuffle(std::vector<chain::Transaction>& txs, util::Rng& rng) {
+  for (std::size_t i = txs.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(txs[i - 1], txs[j]);
+  }
+}
+
+/// Ballot (§7.1): "All block transactions for this benchmark are requests
+/// to vote on the same proposal. To add data conflict, some voters attempt
+/// to double-vote, creating two transactions that contend for the same
+/// voter data. 100% data conflict occurs when all voters attempt to vote
+/// twice."
+void build_ballot(vm::World& world, const WorkloadSpec& spec, std::uint64_t actor_base,
+                  std::vector<chain::Transaction>& out) {
+  const std::size_t n = spec.transactions;
+  const std::size_t conflicting = conflicting_tx_count(n, spec.conflict_percent);
+  const std::size_t pairs = conflicting / 2;
+  const std::size_t singles = n - 2 * pairs;
+
+  auto ballot = std::make_unique<Ballot>(
+      kBallotAddr, kChairperson,
+      std::vector<std::string>{"proposal-alpha", "proposal-beta", "proposal-gamma"});
+  // "For all benchmarks, the contract is put into an initial state where
+  // voters are already registered."
+  for (std::size_t v = 0; v < pairs + singles; ++v) {
+    ballot->raw_register_voter(vm::Address::from_u64(actor_base + v, kVoterSalt), 1);
+  }
+  world.contracts().add(std::move(ballot));
+
+  std::size_t voter = 0;
+  for (std::size_t p = 0; p < pairs; ++p, ++voter) {
+    const vm::Address a = vm::Address::from_u64(actor_base + voter, kVoterSalt);
+    out.push_back(Ballot::make_vote_tx(kBallotAddr, a, 0));
+    out.push_back(Ballot::make_vote_tx(kBallotAddr, a, 0));  // The double vote.
+  }
+  for (std::size_t s = 0; s < singles; ++s, ++voter) {
+    const vm::Address a = vm::Address::from_u64(actor_base + voter, kVoterSalt);
+    out.push_back(Ballot::make_vote_tx(kBallotAddr, a, 0));
+  }
+}
+
+/// SimpleAuction (§7.1): "the contract state is initialized by several
+/// bidders entering a bid. The block consists of transactions that
+/// withdraw these bids. Data conflict is added by including new bidders
+/// who call bidPlusOne() to read and increase the highest bid... 100% data
+/// conflict happens when all transactions are bidPlusOne() bids."
+void build_auction(vm::World& world, const WorkloadSpec& spec, std::uint64_t actor_base,
+                   std::vector<chain::Transaction>& out) {
+  const std::size_t n = spec.transactions;
+  const std::size_t conflicting = conflicting_tx_count(n, spec.conflict_percent);
+  const std::size_t withdrawers = n - conflicting;
+  constexpr vm::Amount kSeedBid = 100;
+
+  auto auction = std::make_unique<SimpleAuction>(kAuctionAddr, kBeneficiary);
+  vm::Amount escrow = 0;
+  for (std::size_t w = 0; w < withdrawers; ++w) {
+    auction->raw_add_pending(vm::Address::from_u64(actor_base + w, kBidderSalt), kSeedBid);
+    escrow += kSeedBid;
+  }
+  // A standing leader so bidPlusOne always has someone to outbid.
+  const vm::Address seed_leader = vm::Address::from_u64(actor_base + 900'000, kBidderSalt);
+  auction->raw_set_highest(seed_leader, 1'000);
+  escrow += 1'000;
+  world.contracts().add(std::move(auction));
+  // The auction contract holds the escrowed funds it will pay out.
+  world.balances().raw_set(kAuctionAddr, world.balances().raw_get(kAuctionAddr) + escrow);
+
+  for (std::size_t w = 0; w < withdrawers; ++w) {
+    out.push_back(SimpleAuction::make_withdraw_tx(
+        kAuctionAddr, vm::Address::from_u64(actor_base + w, kBidderSalt)));
+  }
+  for (std::size_t c = 0; c < conflicting; ++c) {
+    // Fresh bidders, distinct from withdrawers: their only contention is
+    // the shared highestBid/highestBidder scalars.
+    out.push_back(SimpleAuction::make_bid_plus_one_tx(
+        kAuctionAddr, vm::Address::from_u64(actor_base + 1'000'000 + c, kBidderSalt)));
+  }
+}
+
+/// EtherDoc (§7.1): "the contract is initialized with a number of
+/// documents and owners. Transactions consist of owners checking the
+/// existence of the document by hashcode. Data conflict is added by
+/// including transactions that transfer ownership to the contract
+/// creator... 100% data conflict happens when all transactions are
+/// transfers."
+void build_etherdoc(vm::World& world, const WorkloadSpec& spec, std::uint64_t actor_base,
+                    std::vector<chain::Transaction>& out) {
+  const std::size_t n = spec.transactions;
+  const std::size_t conflicting = conflicting_tx_count(n, spec.conflict_percent);
+  const std::size_t lookups = n - conflicting;
+
+  auto etherdoc = std::make_unique<EtherDoc>(kEtherDocAddr, kCreator);
+  // One document per transaction, each with its own owner: lookups touch
+  // disjoint documents; transfers conflict only through the creator's
+  // document list.
+  for (std::size_t d = 0; d < n; ++d) {
+    etherdoc->raw_add_document(actor_base + d,
+                               vm::Address::from_u64(actor_base + d, kOwnerSalt));
+  }
+  world.contracts().add(std::move(etherdoc));
+
+  for (std::size_t d = 0; d < lookups; ++d) {
+    out.push_back(EtherDoc::make_exists_tx(
+        kEtherDocAddr, vm::Address::from_u64(actor_base + d, kOwnerSalt), actor_base + d));
+  }
+  for (std::size_t d = lookups; d < n; ++d) {
+    out.push_back(EtherDoc::make_transfer_tx(kEtherDocAddr,
+                                             vm::Address::from_u64(actor_base + d, kOwnerSalt),
+                                             actor_base + d, kCreator));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(BenchmarkKind kind) noexcept {
+  switch (kind) {
+    case BenchmarkKind::kBallot: return "Ballot";
+    case BenchmarkKind::kSimpleAuction: return "SimpleAuction";
+    case BenchmarkKind::kEtherDoc: return "EtherDoc";
+    case BenchmarkKind::kMixed: return "Mixed";
+  }
+  return "?";
+}
+
+std::size_t conflicting_tx_count(std::size_t transactions, unsigned conflict_percent) {
+  std::size_t count = transactions * conflict_percent / 100;
+  if (count % 2 != 0) ++count;  // Conflicts come in pairs at minimum.
+  return std::min(count, transactions - transactions % 2);
+}
+
+chain::Block Fixture::genesis() const {
+  chain::Block genesis;
+  genesis.header.number = 0;
+  genesis.header.state_root = world->state_root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  return genesis;
+}
+
+Fixture make_fixture(const WorkloadSpec& spec) {
+  Fixture fixture;
+  fixture.world = std::make_unique<vm::World>();
+  util::Rng rng(spec.seed ^ (static_cast<std::uint64_t>(spec.kind) << 56));
+
+  switch (spec.kind) {
+    case BenchmarkKind::kBallot:
+      build_ballot(*fixture.world, spec, 0, fixture.transactions);
+      fixture.ballot = kBallotAddr;
+      break;
+    case BenchmarkKind::kSimpleAuction:
+      build_auction(*fixture.world, spec, 0, fixture.transactions);
+      fixture.auction = kAuctionAddr;
+      break;
+    case BenchmarkKind::kEtherDoc:
+      build_etherdoc(*fixture.world, spec, 0, fixture.transactions);
+      fixture.etherdoc = kEtherDocAddr;
+      break;
+    case BenchmarkKind::kMixed: {
+      // "This benchmark combines transactions on the above smart
+      // contracts in equal proportions, and data conflict is added the
+      // same way in equal proportions from their corresponding
+      // benchmarks."
+      WorkloadSpec third = spec;
+      third.transactions = spec.transactions / 3;
+      WorkloadSpec first = third;
+      first.transactions += spec.transactions - 3 * third.transactions;  // Remainder.
+      build_ballot(*fixture.world, first, 0, fixture.transactions);
+      build_auction(*fixture.world, third, 10'000'000, fixture.transactions);
+      build_etherdoc(*fixture.world, third, 20'000'000, fixture.transactions);
+      fixture.ballot = kBallotAddr;
+      fixture.auction = kAuctionAddr;
+      fixture.etherdoc = kEtherDocAddr;
+      break;
+    }
+  }
+
+  shuffle(fixture.transactions, rng);
+  return fixture;
+}
+
+}  // namespace concord::workload

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/transaction.hpp"
+#include "vm/types.hpp"
+#include "vm/world.hpp"
+
+namespace concord::workload {
+
+/// The paper's four benchmarks (§7.1).
+enum class BenchmarkKind : std::uint8_t {
+  kBallot = 0,
+  kSimpleAuction = 1,
+  kEtherDoc = 2,
+  kMixed = 3,
+};
+
+inline constexpr std::array<BenchmarkKind, 4> kAllBenchmarks = {
+    BenchmarkKind::kBallot, BenchmarkKind::kSimpleAuction, BenchmarkKind::kEtherDoc,
+    BenchmarkKind::kMixed};
+
+[[nodiscard]] std::string_view to_string(BenchmarkKind kind) noexcept;
+
+/// One benchmark configuration. "For each benchmark, our implementation is
+/// evaluated on blocks containing between 10 and 400 transactions with 15%
+/// data conflict, as well as blocks containing 200 transactions with data
+/// conflict percentages ranging from 0% to 100%."
+struct WorkloadSpec {
+  BenchmarkKind kind = BenchmarkKind::kBallot;
+  std::size_t transactions = 200;
+  /// "The data conflict percentage is defined to be the percentage of
+  /// transactions that contend with at least one other transaction for
+  /// shared data."
+  unsigned conflict_percent = 15;
+  std::uint64_t seed = 42;
+};
+
+/// A freshly-built world in its genesis state plus the block's transaction
+/// list. Rebuilt from the spec for every measured run, so repeated
+/// executions always start from identical state.
+struct Fixture {
+  std::unique_ptr<vm::World> world;
+  std::vector<chain::Transaction> transactions;
+  vm::Address ballot;    ///< Deployed Ballot (zero when absent).
+  vm::Address auction;   ///< Deployed SimpleAuction (zero when absent).
+  vm::Address etherdoc;  ///< Deployed EtherDoc (zero when absent).
+
+  /// Genesis block recording the fixture's initial state root — the
+  /// parent every mined block extends.
+  [[nodiscard]] chain::Block genesis() const;
+};
+
+/// Deterministically builds the world and transactions for `spec`.
+/// The same spec (including seed) always produces byte-identical
+/// transactions and an identical genesis state root.
+[[nodiscard]] Fixture make_fixture(const WorkloadSpec& spec);
+
+/// Number of transactions that should be generated as conflicting for a
+/// block of `transactions` at `conflict_percent`, honoring the paper's
+/// definition (a "conflicting" transaction must have at least one partner,
+/// so the count is never exactly 1; Ballot additionally needs it even).
+[[nodiscard]] std::size_t conflicting_tx_count(std::size_t transactions,
+                                               unsigned conflict_percent);
+
+}  // namespace concord::workload

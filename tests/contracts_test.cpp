@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "contracts/ballot.hpp"
+#include "contracts/etherdoc.hpp"
+#include "contracts/simple_auction.hpp"
+#include "core/execution.hpp"
+#include "vm/errors.hpp"
+#include "vm/world.hpp"
+
+namespace concord::contracts {
+namespace {
+
+using vm::Address;
+using vm::ExecContext;
+using vm::GasMeter;
+using vm::MsgContext;
+using vm::RevertError;
+using vm::World;
+
+GasMeter test_meter(std::uint64_t limit = vm::gas::kDefaultTxGasLimit) {
+  return GasMeter(limit, /*nanos_per_gas=*/0.0);
+}
+
+const Address kChair = Address::from_u64(1);
+const Address kAlice = Address::from_u64(2);
+const Address kBob = Address::from_u64(3);
+const Address kCarol = Address::from_u64(4);
+const Address kBallotAddr = Address::from_u64(50, 0xCC);
+const Address kAuctionAddr = Address::from_u64(51, 0xCC);
+const Address kDocAddr = Address::from_u64(52, 0xCC);
+
+/// Runs `fn(ctx)` as `sender` calling `contract` in serial mode.
+template <typename Fn>
+void as(World& world, const Address& sender, const Address& contract, Fn&& fn) {
+  ExecContext ctx = ExecContext::serial(world, test_meter());
+  ctx.push_msg(MsgContext{sender, contract, 0});
+  fn(ctx);
+  ctx.pop_msg();
+}
+
+// -------------------------------------------------------------- Ballot --
+
+class BallotTest : public ::testing::Test {
+ protected:
+  BallotTest() {
+    auto contract = std::make_unique<Ballot>(
+        kBallotAddr, kChair, std::vector<std::string>{"alpha", "beta", "gamma"});
+    ballot_ = contract.get();
+    world_.contracts().add(std::move(contract));
+    ballot_->raw_register_voter(kAlice, 1);
+    ballot_->raw_register_voter(kBob, 1);
+    ballot_->raw_register_voter(kCarol, 1);
+  }
+
+  World world_;
+  Ballot* ballot_ = nullptr;
+};
+
+TEST_F(BallotTest, VoteCountsWeight) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 1); });
+  EXPECT_EQ(ballot_->raw_vote_count(1), 1);
+  EXPECT_TRUE(ballot_->raw_voter(kAlice).voted);
+  EXPECT_EQ(ballot_->raw_voter(kAlice).vote, 1u);
+}
+
+TEST_F(BallotTest, DoubleVoteReverts) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 1); });
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->vote(ctx, 2), RevertError);
+  });
+  EXPECT_EQ(ballot_->raw_vote_count(1), 1);
+  EXPECT_EQ(ballot_->raw_vote_count(2), 0);
+}
+
+TEST_F(BallotTest, OutOfRangeProposalReverts) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->vote(ctx, 17), RevertError);
+  });
+}
+
+TEST_F(BallotTest, GiveRightToVoteOnlyChairperson) {
+  const Address newcomer = Address::from_u64(99);
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->give_right_to_vote(ctx, newcomer), RevertError);
+  });
+  as(world_, kChair, kBallotAddr, [&](ExecContext& ctx) {
+    ballot_->give_right_to_vote(ctx, newcomer);
+  });
+  EXPECT_EQ(ballot_->raw_voter(newcomer).weight, 1);
+}
+
+TEST_F(BallotTest, GiveRightToVotedVoterReverts) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 0); });
+  as(world_, kChair, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->give_right_to_vote(ctx, kAlice), RevertError);
+  });
+}
+
+TEST_F(BallotTest, DelegationAddsWeight) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->delegate(ctx, kBob); });
+  EXPECT_EQ(ballot_->raw_voter(kBob).weight, 2);
+  as(world_, kBob, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 2); });
+  EXPECT_EQ(ballot_->raw_vote_count(2), 2);  // Bob's vote carries Alice's weight.
+}
+
+TEST_F(BallotTest, DelegationToVotedDelegateCountsImmediately) {
+  as(world_, kBob, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 1); });
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->delegate(ctx, kBob); });
+  EXPECT_EQ(ballot_->raw_vote_count(1), 2);
+}
+
+TEST_F(BallotTest, DelegationChainIsFollowed) {
+  as(world_, kBob, kBallotAddr, [&](ExecContext& ctx) { ballot_->delegate(ctx, kCarol); });
+  // Alice delegates to Bob, who already delegated to Carol → lands on Carol.
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->delegate(ctx, kBob); });
+  EXPECT_EQ(ballot_->raw_voter(kAlice).delegate_to, kCarol);
+  EXPECT_EQ(ballot_->raw_voter(kCarol).weight, 3);
+}
+
+TEST_F(BallotTest, SelfDelegationReverts) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->delegate(ctx, kAlice), RevertError);
+  });
+}
+
+TEST_F(BallotTest, DelegateAfterVoteReverts) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 0); });
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(ballot_->delegate(ctx, kBob), RevertError);
+  });
+}
+
+TEST_F(BallotTest, WinningProposalAndName) {
+  as(world_, kAlice, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 2); });
+  as(world_, kBob, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 2); });
+  as(world_, kCarol, kBallotAddr, [&](ExecContext& ctx) { ballot_->vote(ctx, 0); });
+  as(world_, kChair, kBallotAddr, [&](ExecContext& ctx) {
+    EXPECT_EQ(ballot_->winning_proposal(ctx), 2u);
+    EXPECT_EQ(ballot_->winner_name(ctx), "gamma");
+  });
+}
+
+TEST_F(BallotTest, ExecuteDispatchesVoteTx) {
+  const auto tx = Ballot::make_vote_tx(kBallotAddr, kAlice, 1);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  const auto status = core::execute_transaction(world_, tx, ctx);
+  EXPECT_EQ(status, vm::TxStatus::kSuccess);
+  EXPECT_EQ(ballot_->raw_vote_count(1), 1);
+}
+
+TEST_F(BallotTest, ExecuteRejectsUnknownSelector) {
+  auto tx = Ballot::make_vote_tx(kBallotAddr, kAlice, 1);
+  tx.selector = 999;
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kReverted);
+}
+
+TEST_F(BallotTest, ExecuteRejectsMalformedArgs) {
+  auto tx = Ballot::make_delegate_tx(kBallotAddr, kAlice, kBob);
+  tx.args.resize(3);  // Truncated address.
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kReverted);
+}
+
+TEST_F(BallotTest, RevertedVoteLeavesStateUntouched) {
+  const auto root_before = world_.state_root();
+  const auto tx = Ballot::make_vote_tx(kBallotAddr, kAlice, 99);  // Out of range.
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kReverted);
+  EXPECT_EQ(world_.state_root(), root_before);
+}
+
+TEST_F(BallotTest, GasExhaustionRevertsCleanly) {
+  const auto root_before = world_.state_root();
+  auto tx = Ballot::make_vote_tx(kBallotAddr, kAlice, 1);
+  tx.gas_limit = 2'000;  // Not enough for the vote body.
+  ExecContext ctx = ExecContext::serial(world_, GasMeter(tx.gas_limit, 0.0));
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kOutOfGas);
+  EXPECT_EQ(world_.state_root(), root_before);
+}
+
+TEST_F(BallotTest, ConstructorRequiresProposals) {
+  EXPECT_THROW(Ballot(kBallotAddr, kChair, {}), vm::BadCall);
+}
+
+// ------------------------------------------------------ SimpleAuction --
+
+class AuctionTest : public ::testing::Test {
+ protected:
+  AuctionTest() {
+    auto contract = std::make_unique<SimpleAuction>(kAuctionAddr, kChair);
+    auction_ = contract.get();
+    world_.contracts().add(std::move(contract));
+    world_.balances().raw_set(kAuctionAddr, 10'000);
+  }
+
+  World world_;
+  SimpleAuction* auction_ = nullptr;
+};
+
+TEST_F(AuctionTest, FirstBidBecomesHighest) {
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  ctx.push_msg(MsgContext{kAlice, kAuctionAddr, 100});
+  auction_->bid(ctx);
+  ctx.pop_msg();
+  EXPECT_EQ(auction_->raw_highest_bid(), 100);
+  EXPECT_EQ(auction_->raw_highest_bidder(), kAlice);
+}
+
+TEST_F(AuctionTest, LowBidReverts) {
+  auction_->raw_set_highest(kAlice, 100);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  ctx.push_msg(MsgContext{kBob, kAuctionAddr, 100});
+  EXPECT_THROW(auction_->bid(ctx), RevertError);
+  ctx.pop_msg();
+}
+
+TEST_F(AuctionTest, OutbidCreditsPreviousLeader) {
+  auction_->raw_set_highest(kAlice, 100);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  ctx.push_msg(MsgContext{kBob, kAuctionAddr, 150});
+  auction_->bid(ctx);
+  ctx.pop_msg();
+  EXPECT_EQ(auction_->raw_highest_bidder(), kBob);
+  EXPECT_EQ(auction_->raw_pending(kAlice), 100);
+}
+
+TEST_F(AuctionTest, WithdrawPaysAndZeroes) {
+  auction_->raw_add_pending(kAlice, 300);
+  as(world_, kAlice, kAuctionAddr, [&](ExecContext& ctx) { auction_->withdraw(ctx); });
+  EXPECT_EQ(auction_->raw_pending(kAlice), 0);
+  EXPECT_EQ(world_.balances().raw_get(kAlice), 300);
+  EXPECT_EQ(world_.balances().raw_get(kAuctionAddr), 9'700);
+}
+
+TEST_F(AuctionTest, WithdrawWithNothingPendingIsNoop) {
+  as(world_, kBob, kAuctionAddr, [&](ExecContext& ctx) { auction_->withdraw(ctx); });
+  EXPECT_EQ(world_.balances().raw_get(kBob), 0);
+}
+
+TEST_F(AuctionTest, BidPlusOneOutbidsByExactlyOne) {
+  auction_->raw_set_highest(kAlice, 100);
+  as(world_, kBob, kAuctionAddr, [&](ExecContext& ctx) { auction_->bid_plus_one(ctx); });
+  EXPECT_EQ(auction_->raw_highest_bid(), 101);
+  EXPECT_EQ(auction_->raw_highest_bidder(), kBob);
+  EXPECT_EQ(auction_->raw_pending(kAlice), 100);
+}
+
+TEST_F(AuctionTest, AuctionEndPaysBeneficiaryOnce) {
+  auction_->raw_set_highest(kAlice, 500);
+  as(world_, kChair, kAuctionAddr, [&](ExecContext& ctx) { auction_->auction_end(ctx); });
+  EXPECT_TRUE(auction_->raw_ended());
+  EXPECT_EQ(world_.balances().raw_get(kChair), 500);
+  as(world_, kChair, kAuctionAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(auction_->auction_end(ctx), RevertError);
+  });
+}
+
+TEST_F(AuctionTest, BidAfterEndReverts) {
+  as(world_, kChair, kAuctionAddr, [&](ExecContext& ctx) { auction_->auction_end(ctx); });
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  ctx.push_msg(MsgContext{kBob, kAuctionAddr, 999});
+  EXPECT_THROW(auction_->bid(ctx), RevertError);
+  ctx.pop_msg();
+}
+
+TEST_F(AuctionTest, ExecuteDispatchesWithdrawTx) {
+  auction_->raw_add_pending(kAlice, 42);
+  const auto tx = SimpleAuction::make_withdraw_tx(kAuctionAddr, kAlice);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kSuccess);
+  EXPECT_EQ(world_.balances().raw_get(kAlice), 42);
+}
+
+TEST_F(AuctionTest, ExecuteDispatchesBidTxWithValue) {
+  const auto tx = SimpleAuction::make_bid_tx(kAuctionAddr, kBob, 77);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kSuccess);
+  EXPECT_EQ(auction_->raw_highest_bid(), 77);
+}
+
+// ----------------------------------------------------------- EtherDoc --
+
+class EtherDocTest : public ::testing::Test {
+ protected:
+  EtherDocTest() {
+    auto contract = std::make_unique<EtherDoc>(kDocAddr, kChair);
+    etherdoc_ = contract.get();
+    world_.contracts().add(std::move(contract));
+  }
+
+  World world_;
+  EtherDoc* etherdoc_ = nullptr;
+};
+
+TEST_F(EtherDocTest, CreateThenExists) {
+  as(world_, kAlice, kDocAddr, [&](ExecContext& ctx) {
+    etherdoc_->create_document(ctx, 111);
+    EXPECT_TRUE(etherdoc_->exists_document(ctx, 111));
+    EXPECT_FALSE(etherdoc_->exists_document(ctx, 222));
+  });
+  EXPECT_EQ(etherdoc_->raw_owner_count(kAlice), 1);
+  EXPECT_EQ(etherdoc_->raw_owner_docs(kAlice), (std::vector<std::uint64_t>{111}));
+}
+
+TEST_F(EtherDocTest, DuplicateCreateReverts) {
+  etherdoc_->raw_add_document(111, kAlice);
+  as(world_, kBob, kDocAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(etherdoc_->create_document(ctx, 111), RevertError);
+  });
+}
+
+TEST_F(EtherDocTest, GetDocumentReturnsMetadata) {
+  etherdoc_->raw_add_document(111, kAlice);
+  as(world_, kBob, kDocAddr, [&](ExecContext& ctx) {
+    const auto doc = etherdoc_->get_document(ctx, 111);
+    EXPECT_EQ(doc.owner, kAlice);
+    EXPECT_EQ(doc.version, 0u);
+    EXPECT_THROW((void)etherdoc_->get_document(ctx, 999), RevertError);
+  });
+}
+
+TEST_F(EtherDocTest, TransferMovesOwnership) {
+  etherdoc_->raw_add_document(111, kAlice);
+  as(world_, kAlice, kDocAddr, [&](ExecContext& ctx) {
+    etherdoc_->transfer_ownership(ctx, 111, kBob);
+  });
+  EXPECT_EQ(etherdoc_->raw_document(111).owner, kBob);
+  EXPECT_EQ(etherdoc_->raw_document(111).version, 1u);
+  EXPECT_EQ(etherdoc_->raw_owner_count(kAlice), 0);
+  EXPECT_EQ(etherdoc_->raw_owner_count(kBob), 1);
+  EXPECT_TRUE(etherdoc_->raw_owner_docs(kAlice).empty());
+  EXPECT_EQ(etherdoc_->raw_owner_docs(kBob), (std::vector<std::uint64_t>{111}));
+}
+
+TEST_F(EtherDocTest, TransferByNonOwnerReverts) {
+  etherdoc_->raw_add_document(111, kAlice);
+  as(world_, kBob, kDocAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(etherdoc_->transfer_ownership(ctx, 111, kBob), RevertError);
+  });
+}
+
+TEST_F(EtherDocTest, TransferOfMissingDocReverts) {
+  as(world_, kAlice, kDocAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(etherdoc_->transfer_ownership(ctx, 404, kBob), RevertError);
+  });
+}
+
+TEST_F(EtherDocTest, ExecuteDispatchesTransferTx) {
+  etherdoc_->raw_add_document(111, kAlice);
+  const auto tx = EtherDoc::make_transfer_tx(kDocAddr, kAlice, 111, kBob);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kSuccess);
+  EXPECT_EQ(etherdoc_->raw_document(111).owner, kBob);
+}
+
+TEST_F(EtherDocTest, HashStateTracksTransfers) {
+  etherdoc_->raw_add_document(111, kAlice);
+  const auto before = world_.state_root();
+  as(world_, kAlice, kDocAddr, [&](ExecContext& ctx) {
+    etherdoc_->transfer_ownership(ctx, 111, kBob);
+  });
+  EXPECT_NE(world_.state_root(), before);
+}
+
+}  // namespace
+}  // namespace concord::contracts

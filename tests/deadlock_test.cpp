@@ -1,0 +1,131 @@
+// Direct unit tests of the wait-for-graph deadlock detector (elsewhere it
+// is exercised only through full speculative executions).
+
+#include <gtest/gtest.h>
+
+#include "stm/deadlock.hpp"
+#include "stm/runtime.hpp"
+#include "stm/speculative_action.hpp"
+
+namespace concord::stm {
+namespace {
+
+/// Registers throwaway root actions so the detector has doom targets.
+class DetectorFixture : public ::testing::Test {
+ protected:
+  SpeculativeAction& make_action(std::uint64_t birth) {
+    actions_.push_back(
+        std::make_unique<SpeculativeAction>(rt_, static_cast<std::uint32_t>(birth), birth));
+    return *actions_.back();
+  }
+
+  DeadlockDetector& detector() { return rt_.deadlocks(); }
+
+  BoostingRuntime rt_;
+  std::vector<std::unique_ptr<SpeculativeAction>> actions_;
+};
+
+TEST_F(DetectorFixture, NoCycleNoVictim) {
+  auto& a = make_action(1);
+  auto& b = make_action(2);
+  EXPECT_FALSE(detector().will_wait(a.root_id(), {b.root_id()}));
+  EXPECT_FALSE(a.doomed());
+  EXPECT_FALSE(b.doomed());
+  EXPECT_EQ(detector().victims(), 0u);
+  detector().done_waiting(a.root_id());
+}
+
+TEST_F(DetectorFixture, TwoCycleDoomsYoungest) {
+  auto& older = make_action(1);
+  auto& younger = make_action(2);
+  EXPECT_FALSE(detector().will_wait(older.root_id(), {younger.root_id()}));
+  // Younger closing the cycle gets doomed itself: will_wait returns true.
+  EXPECT_TRUE(detector().will_wait(younger.root_id(), {older.root_id()}));
+  EXPECT_TRUE(younger.doomed());
+  EXPECT_FALSE(older.doomed());
+  EXPECT_EQ(detector().victims(), 1u);
+}
+
+TEST_F(DetectorFixture, TwoCycleDoomsYoungestEvenIfOlderCloses) {
+  auto& older = make_action(1);
+  auto& younger = make_action(2);
+  EXPECT_FALSE(detector().will_wait(younger.root_id(), {older.root_id()}));
+  // The *older* action closes the cycle: the younger is doomed remotely,
+  // and will_wait tells the older it may keep waiting (returns false).
+  EXPECT_FALSE(detector().will_wait(older.root_id(), {younger.root_id()}));
+  EXPECT_TRUE(younger.doomed());
+  EXPECT_FALSE(older.doomed());
+}
+
+TEST_F(DetectorFixture, ThreeCycleDoomsYoungest) {
+  auto& a = make_action(1);
+  auto& b = make_action(2);
+  auto& c = make_action(3);
+  EXPECT_FALSE(detector().will_wait(a.root_id(), {b.root_id()}));
+  EXPECT_FALSE(detector().will_wait(b.root_id(), {c.root_id()}));
+  EXPECT_TRUE(detector().will_wait(c.root_id(), {a.root_id()}));  // c is youngest.
+  EXPECT_TRUE(c.doomed());
+  EXPECT_FALSE(a.doomed());
+  EXPECT_FALSE(b.doomed());
+}
+
+TEST_F(DetectorFixture, DoneWaitingClearsEdges) {
+  auto& a = make_action(1);
+  auto& b = make_action(2);
+  EXPECT_FALSE(detector().will_wait(a.root_id(), {b.root_id()}));
+  detector().done_waiting(a.root_id());
+  // With a's edge gone, b → a closes nothing.
+  EXPECT_FALSE(detector().will_wait(b.root_id(), {a.root_id()}));
+  EXPECT_FALSE(a.doomed());
+  EXPECT_FALSE(b.doomed());
+}
+
+TEST_F(DetectorFixture, WaitingOnMultipleHoldersFindsTheCycle) {
+  auto& a = make_action(1);
+  auto& b = make_action(2);
+  auto& c = make_action(3);
+  // a waits on {b, c}; only c waits back.
+  EXPECT_FALSE(detector().will_wait(c.root_id(), {a.root_id()}));
+  EXPECT_TRUE(detector().will_wait(a.root_id(), {b.root_id(), c.root_id()}) ||
+              c.doomed());  // Victim is the younger of {a, c} — c.
+  EXPECT_TRUE(c.doomed());
+  EXPECT_FALSE(b.doomed());
+}
+
+TEST_F(DetectorFixture, UnregisteredVictimStillSignalledViaReturn) {
+  auto& a = make_action(1);
+  const std::uint64_t ghost = 99;  // Never registered (e.g. already torn down).
+  EXPECT_FALSE(detector().will_wait(a.root_id(), {ghost}));
+  // Ghost waits back: cycle {a, ghost}; the ghost is youngest, so it is
+  // the victim. There is no registered action to doom, but the return
+  // value still tells the waiter itself to abort — the registered party
+  // is untouched either way.
+  EXPECT_TRUE(detector().will_wait(ghost, {a.root_id()}));
+  EXPECT_FALSE(a.doomed());
+}
+
+TEST_F(DetectorFixture, ResetClearsEverything) {
+  auto& a = make_action(1);
+  auto& b = make_action(2);
+  EXPECT_FALSE(detector().will_wait(a.root_id(), {b.root_id()}));
+  detector().reset();
+  EXPECT_EQ(detector().victims(), 0u);
+  // Post-reset, the old edge is gone: no cycle.
+  detector().register_action(b.root_id(), &b);
+  EXPECT_FALSE(detector().will_wait(b.root_id(), {a.root_id()}));
+  EXPECT_FALSE(a.doomed());
+}
+
+TEST_F(DetectorFixture, RetryReusesBirthStampAndAges) {
+  // A victim that retries keeps its stamp; a *fresh* (younger) opponent
+  // must now lose the same duel — the aging that guarantees progress.
+  auto& veteran = make_action(5);
+  auto& rookie = make_action(9);
+  EXPECT_FALSE(detector().will_wait(veteran.root_id(), {rookie.root_id()}));
+  EXPECT_TRUE(detector().will_wait(rookie.root_id(), {veteran.root_id()}));
+  EXPECT_TRUE(rookie.doomed());
+  EXPECT_FALSE(veteran.doomed());
+}
+
+}  // namespace
+}  // namespace concord::stm

@@ -1,0 +1,129 @@
+// Property: for ANY gas limit, a transaction either succeeds, reverts, or
+// runs out of gas — and in the two failure cases the world state is
+// byte-identical to never having run it. Sweeping the limit from 0 to
+// past the success threshold walks the OutOfGas boundary through every
+// charge site in the contract body, which is a cheap way to fault-inject
+// "terminated and rolled back" (paper §1) at every execution point.
+
+#include <gtest/gtest.h>
+
+#include "contracts/ballot.hpp"
+#include "contracts/etherdoc.hpp"
+#include "contracts/simple_auction.hpp"
+#include "core/execution.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace concord {
+namespace {
+
+using workload::BenchmarkKind;
+using workload::WorkloadSpec;
+
+class GasBoundary : public ::testing::TestWithParam<BenchmarkKind> {};
+
+TEST_P(GasBoundary, EveryLimitYieldsCleanOutcome) {
+  const WorkloadSpec spec{GetParam(), 4, 0, 42};
+
+  // Find the gas each transaction actually needs.
+  auto probe = workload::make_fixture(spec);
+  std::vector<std::uint64_t> needed;
+  for (const auto& tx : probe.transactions) {
+    vm::ExecContext ctx = vm::ExecContext::serial(*probe.world, vm::GasMeter(tx.gas_limit, 0.0));
+    ASSERT_EQ(core::execute_transaction(*probe.world, tx, ctx), vm::TxStatus::kSuccess);
+    needed.push_back(ctx.gas().used());
+  }
+
+  // Sweep limits across the boundary for the FIRST transaction.
+  const std::uint64_t full = needed[0];
+  for (std::uint64_t limit : {std::uint64_t{0}, full / 4, full / 2, full - 1, full, full + 100}) {
+    auto fixture = workload::make_fixture(spec);
+    const auto root_before = fixture.world->state_root();
+    auto tx = fixture.transactions[0];
+    tx.gas_limit = limit;
+    vm::ExecContext ctx = vm::ExecContext::serial(*fixture.world, vm::GasMeter(limit, 0.0));
+    const vm::TxStatus status = core::execute_transaction(*fixture.world, tx, ctx);
+    if (limit >= full) {
+      EXPECT_EQ(status, vm::TxStatus::kSuccess) << "limit " << limit;
+      // (A successful tx may be a pure read — EtherDoc's exists() — so no
+      // state-change assertion here; the rollback property below is the
+      // invariant under test.)
+    } else {
+      EXPECT_EQ(status, vm::TxStatus::kOutOfGas) << "limit " << limit;
+      EXPECT_EQ(fixture.world->state_root(), root_before)
+          << "state leaked at limit " << limit << "/" << full;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GasBoundary,
+                         ::testing::Values(BenchmarkKind::kBallot, BenchmarkKind::kSimpleAuction,
+                                           BenchmarkKind::kEtherDoc),
+                         [](const auto& info) {
+                           return std::string(workload::to_string(info.param));
+                         });
+
+TEST(GasBoundary, OutOfGasBlocksValidateDeterministically) {
+  // A block whose transactions carry assorted too-small gas limits must
+  // mine, publish, and validate: OutOfGas is part of the block's meaning.
+  const WorkloadSpec spec{BenchmarkKind::kMixed, 40, 20, 9};
+  auto fixture = workload::make_fixture(spec);
+  util::Rng rng(17);
+  std::vector<chain::Transaction> txs = fixture.transactions;
+  for (auto& tx : txs) {
+    if (rng.chance_percent(40)) tx.gas_limit = 1'000 + rng.below(9'000);  // Mostly too small.
+  }
+
+  core::Miner miner(*fixture.world, core::MinerConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const chain::Block block = miner.mine(txs, fixture.genesis());
+
+  std::size_t out_of_gas = 0;
+  for (const auto s : block.statuses) out_of_gas += s == vm::TxStatus::kOutOfGas ? 1 : 0;
+  EXPECT_GT(out_of_gas, 0u) << "sweep should produce some OutOfGas transactions";
+
+  auto replica = workload::make_fixture(spec);
+  core::Validator validator(*replica.world,
+                            core::ValidatorConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto report = validator.validate_parallel(block);
+  EXPECT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+}
+
+TEST(GasBoundary, DelegationChainExhaustsGasEventually) {
+  // Appendix A warns that long delegation chains "might need more gas
+  // than is available" — build one long chain and delegate into it with a
+  // tight limit.
+  const vm::Address ballot_addr = vm::Address::from_u64(1, 0xCC);
+  const vm::Address chair = vm::Address::from_u64(1, 0x04);
+  vm::World world;
+  auto contract = std::make_unique<contracts::Ballot>(
+      ballot_addr, chair, std::vector<std::string>{"a"});
+  auto* ballot = contract.get();
+  world.contracts().add(std::move(contract));
+
+  // voter i delegates to voter i+1, pre-built in genesis state.
+  constexpr std::uint64_t kChainLength = 200;
+  for (std::uint64_t v = 0; v <= kChainLength; ++v) {
+    ballot->raw_register_voter(vm::Address::from_u64(v, 0x01), 1);
+  }
+  for (std::uint64_t v = 1; v <= kChainLength; ++v) {
+    vm::ExecContext ctx = vm::ExecContext::serial(world, vm::GasMeter(10'000'000, 0.0));
+    ctx.push_msg(vm::MsgContext{vm::Address::from_u64(v, 0x01), ballot_addr, 0});
+    ballot->delegate(ctx, vm::Address::from_u64(v + 1, 0x01));
+    ctx.pop_msg();
+  }
+
+  // Voter 0 delegates into the 200-hop chain with only 20k gas: each hop
+  // reads storage, so the walk must die with OutOfGas, cleanly.
+  const auto root_before = world.state_root();
+  auto tx = contracts::Ballot::make_delegate_tx(ballot_addr, vm::Address::from_u64(0, 0x01),
+                                                vm::Address::from_u64(1, 0x01));
+  tx.gas_limit = 20'000;
+  vm::ExecContext ctx = vm::ExecContext::serial(world, vm::GasMeter(tx.gas_limit, 0.0));
+  EXPECT_EQ(core::execute_transaction(world, tx, ctx), vm::TxStatus::kOutOfGas);
+  EXPECT_EQ(world.state_root(), root_before);
+}
+
+}  // namespace
+}  // namespace concord

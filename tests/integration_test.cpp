@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "contracts/ballot.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "workload/workload.hpp"
+
+namespace concord {
+namespace {
+
+using core::Miner;
+using core::MinerConfig;
+using core::Validator;
+using core::ValidatorConfig;
+using workload::BenchmarkKind;
+using workload::WorkloadSpec;
+
+MinerConfig fast_miner() {
+  MinerConfig cfg;
+  cfg.nanos_per_gas = 0.0;
+  return cfg;
+}
+
+ValidatorConfig fast_validator() {
+  ValidatorConfig cfg;
+  cfg.nanos_per_gas = 0.0;
+  return cfg;
+}
+
+// ----------------------------------------------------------------------
+// Full pipeline: generate → mine in parallel → serialize over the "wire"
+// → decode → append to a chain → validate in parallel on a fresh node.
+// ----------------------------------------------------------------------
+
+TEST(Integration, EndToEndMineShipValidate) {
+  const WorkloadSpec spec{BenchmarkKind::kMixed, 120, 30, 7};
+
+  // Miner node.
+  auto miner_fixture = workload::make_fixture(spec);
+  chain::Blockchain miner_chain(miner_fixture.world->state_root());
+  Miner miner(*miner_fixture.world, fast_miner());
+  const chain::Block mined = miner.mine(miner_fixture.transactions, miner_chain.tip());
+  miner_chain.append(mined);
+  EXPECT_EQ(miner_chain.height(), 1u);
+
+  // Wire: encode, then decode on the validator side.
+  util::ByteWriter wire;
+  mined.encode(wire);
+  util::ByteReader reader(wire.bytes());
+  const chain::Block received = chain::Block::decode(reader);
+  EXPECT_EQ(received, mined);
+
+  // Validator node (fresh world from the same genesis spec).
+  auto validator_fixture = workload::make_fixture(spec);
+  chain::Blockchain validator_chain(validator_fixture.world->state_root());
+  Validator validator(*validator_fixture.world, fast_validator());
+  const auto report = validator.validate_parallel(received);
+  ASSERT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+  validator_chain.append(received);
+  EXPECT_TRUE(validator_chain.verify_links());
+  EXPECT_EQ(validator_fixture.world->state_root(), mined.header.state_root);
+}
+
+TEST(Integration, MultiBlockChainMinedAndValidated) {
+  // Three consecutive Ballot blocks: voters 0..49 in block 1, 50..99 in
+  // block 2, then a delegate wave in block 3, all against one evolving
+  // world — the validator node replays the whole chain.
+  const vm::Address ballot_addr = vm::Address::from_u64(1, 0xCC);
+  const vm::Address chair = vm::Address::from_u64(1, 0x04);
+
+  const auto build_world = [&] {
+    auto world = std::make_unique<vm::World>();
+    auto ballot = std::make_unique<contracts::Ballot>(
+        ballot_addr, chair, std::vector<std::string>{"a", "b"});
+    for (std::uint64_t v = 0; v < 150; ++v) {
+      ballot->raw_register_voter(vm::Address::from_u64(v, 0x01), 1);
+    }
+    world->contracts().add(std::move(ballot));
+    return world;
+  };
+
+  const auto block_txs = [&](int which) {
+    std::vector<chain::Transaction> txs;
+    if (which == 1) {
+      for (std::uint64_t v = 0; v < 50; ++v) {
+        txs.push_back(contracts::Ballot::make_vote_tx(ballot_addr,
+                                                      vm::Address::from_u64(v, 0x01), v % 2));
+      }
+    } else if (which == 2) {
+      for (std::uint64_t v = 50; v < 100; ++v) {
+        txs.push_back(contracts::Ballot::make_vote_tx(ballot_addr,
+                                                      vm::Address::from_u64(v, 0x01), 1));
+      }
+    } else {
+      for (std::uint64_t v = 100; v < 150; ++v) {
+        txs.push_back(contracts::Ballot::make_delegate_tx(
+            ballot_addr, vm::Address::from_u64(v, 0x01), vm::Address::from_u64(v - 100, 0x01)));
+      }
+    }
+    return txs;
+  };
+
+  // Miner node mines three blocks.
+  auto miner_world = build_world();
+  chain::Blockchain miner_chain(miner_world->state_root());
+  Miner miner(*miner_world, fast_miner());
+  for (int b = 1; b <= 3; ++b) {
+    miner_chain.append(miner.mine(block_txs(b), miner_chain.tip()));
+  }
+  EXPECT_EQ(miner_chain.height(), 3u);
+
+  // Validator node replays all three in order.
+  auto validator_world = build_world();
+  chain::Blockchain validator_chain(validator_world->state_root());
+  Validator validator(*validator_world, fast_validator());
+  for (std::uint64_t b = 1; b <= 3; ++b) {
+    const auto& block = miner_chain.at(b);
+    const auto report = validator.validate_parallel(block);
+    ASSERT_TRUE(report.ok) << "block " << b << ": " << core::to_string(report.reason) << " "
+                           << report.detail;
+    validator_chain.append(block);
+  }
+  EXPECT_EQ(validator_world->state_root(), miner_chain.tip().header.state_root);
+
+  // Delegated votes landed: block 3 delegates its weight to voted voters,
+  // so tallies reflect 100 direct votes + 50 delegated weights.
+  auto& ballot = validator_world->contracts().as<contracts::Ballot>(ballot_addr);
+  EXPECT_EQ(ballot.raw_vote_count(0) + ballot.raw_vote_count(1), 150);
+}
+
+TEST(Integration, ChainRejectsBlockValidatedAgainstWrongParentState) {
+  const WorkloadSpec spec{BenchmarkKind::kBallot, 40, 10, 3};
+  auto fixture = workload::make_fixture(spec);
+  Miner miner(*fixture.world, fast_miner());
+  const auto block = miner.mine(fixture.transactions, fixture.genesis());
+
+  // A validator whose world is NOT at the parent state must fail the
+  // state-root comparison (here: one extra pre-existing vote).
+  auto wrong = workload::make_fixture(spec);
+  auto& ballot = wrong.world->contracts().as<contracts::Ballot>(wrong.ballot);
+  ballot.raw_register_voter(vm::Address::from_u64(999'999, 0x01), 5);
+  Validator validator(*wrong.world, fast_validator());
+  const auto report = validator.validate_parallel(block);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, core::RejectReason::kStateRootMismatch);
+}
+
+TEST(Integration, ScheduleMetricsReflectConflictLevel) {
+  const auto metrics_for = [](unsigned conflict) {
+    const WorkloadSpec spec{BenchmarkKind::kSimpleAuction, 100, conflict, 11};
+    auto fixture = workload::make_fixture(spec);
+    Miner miner(*fixture.world, fast_miner());
+    const auto block = miner.mine(fixture.transactions, fixture.genesis());
+    const auto graph = block.schedule.to_graph(block.transactions.size());
+    return graph::compute_metrics(graph);
+  };
+
+  const auto low = metrics_for(0);
+  const auto high = metrics_for(100);
+  EXPECT_EQ(low.critical_path, 1u);           // Pure withdrawals: no edges.
+  EXPECT_GT(high.critical_path, 50u);          // bidPlusOne chain.
+  EXPECT_GT(low.parallelism, high.parallelism);
+}
+
+}  // namespace
+}  // namespace concord

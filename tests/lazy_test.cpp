@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "contracts/kv_store.hpp"
+#include "core/execution.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "stm/runtime.hpp"
+#include "util/rng.hpp"
+#include "vm/errors.hpp"
+#include "vm/lazy_map.hpp"
+#include "vm/world.hpp"
+
+namespace concord::vm {
+namespace {
+
+GasMeter test_meter() { return GasMeter(gas::kDefaultTxGasLimit, 0.0); }
+
+// ------------------------------------------------------------ LazyMap --
+
+TEST(LazyMap, SerialModeBehavesEagerly) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  ExecContext ctx = ExecContext::serial(world, test_meter());
+  map.put(ctx, 1, 10);
+  EXPECT_EQ(map.get(ctx, 1), 10);
+  EXPECT_EQ(map.raw_get(1), 10);  // Applied immediately — no speculation.
+  EXPECT_TRUE(map.erase(ctx, 1));
+  EXPECT_EQ(map.raw_get(1), std::nullopt);
+}
+
+TEST(LazyMap, SerialRevertRollsBack) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 100);
+  ExecContext ctx = ExecContext::serial(world, test_meter());
+  map.put(ctx, 1, 200);
+  map.put(ctx, 2, 300);
+  ctx.rollback_local();
+  EXPECT_EQ(map.raw_get(1), 100);
+  EXPECT_EQ(map.raw_get(2), std::nullopt);
+}
+
+TEST(LazyMap, SpeculativeWritesAreBufferedUntilCommit) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+
+  map.put(ctx, 1, 10);
+  EXPECT_EQ(map.raw_get(1), std::nullopt);  // Main storage untouched...
+  EXPECT_EQ(map.get(ctx, 1), 10);           // ...but reads see own writes.
+  EXPECT_EQ(map.pending_lineages(), 1u);
+
+  (void)action.commit();
+  EXPECT_EQ(map.raw_get(1), 10);  // Applied at commit.
+  EXPECT_EQ(map.pending_lineages(), 0u);
+}
+
+TEST(LazyMap, AbortDiscardsBufferInsteadOfUndoing) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 100);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+
+  map.put(ctx, 1, 999);
+  map.put(ctx, 2, 999);
+  action.abort();
+  EXPECT_EQ(map.raw_get(1), 100);
+  EXPECT_EQ(map.raw_get(2), std::nullopt);
+  EXPECT_EQ(map.pending_lineages(), 0u);
+}
+
+TEST(LazyMap, RevertedCommitDiscardsBuffer) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+  map.put(ctx, 7, 7);
+  const auto profile = action.commit(/*reverted=*/true);
+  EXPECT_TRUE(profile.reverted);
+  EXPECT_EQ(map.raw_get(7), std::nullopt);
+  EXPECT_EQ(map.pending_lineages(), 0u);
+}
+
+TEST(LazyMap, BufferedEraseAppliesAtCommit) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 100);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+
+  EXPECT_TRUE(map.erase(ctx, 1));
+  EXPECT_EQ(map.raw_get(1), 100);             // Still there physically...
+  EXPECT_EQ(map.get(ctx, 1), std::nullopt);   // ...gone for this lineage.
+  EXPECT_FALSE(map.erase(ctx, 1));            // Second erase sees the buffer.
+  (void)action.commit();
+  EXPECT_EQ(map.raw_get(1), std::nullopt);
+}
+
+TEST(LazyMap, TwoLineagesBufferIndependently) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction a(rt, 0, rt.next_birth());
+  stm::SpeculativeAction b(rt, 1, rt.next_birth());
+  ExecContext ctx_a = ExecContext::speculative(world, rt, a, test_meter());
+  ExecContext ctx_b = ExecContext::speculative(world, rt, b, test_meter());
+
+  map.put(ctx_a, 1, 10);  // Key 1: lineage a.
+  map.put(ctx_b, 2, 20);  // Key 2: lineage b (disjoint locks: no blocking).
+  EXPECT_EQ(map.raw_get(1), std::nullopt);  // Neither buffer is visible...
+  EXPECT_EQ(map.raw_get(2), std::nullopt);  // ...in main storage yet.
+  EXPECT_EQ(map.pending_lineages(), 2u);
+  a.abort();
+  // After a's abort its lock is free: b may now read key 1 and must NOT
+  // see a's discarded buffer. (Reading *while* a held the write lock
+  // would rightly block — lineages synchronize through abstract locks.)
+  EXPECT_EQ(map.get(ctx_b, 1), std::nullopt);
+  (void)b.commit();
+  EXPECT_EQ(map.raw_get(1), std::nullopt);
+  EXPECT_EQ(map.raw_get(2), 20);
+}
+
+TEST(LazyMap, NestedChildAbortRestoresParentBuffer) {
+  // Parent buffers key 1 = 10; child overwrites it and buffers key 2; the
+  // child aborts → parent's view of key 1 must survive, key 2 must not.
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction parent(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, parent, test_meter());
+  ctx.push_msg(MsgContext{Address::from_u64(1), Address::from_u64(2), 0});
+
+  map.put(ctx, 1, 10);
+  const bool ok = ctx.nested_call(Address::from_u64(3), 0, [&](ExecContext& inner) {
+    map.put(inner, 1, 999);
+    map.put(inner, 2, 999);
+    EXPECT_EQ(map.get(inner, 1), 999);
+    throw RevertError("child fails");
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(map.get(ctx, 1), 10);            // Parent's buffered value restored.
+  EXPECT_EQ(map.get(ctx, 2), std::nullopt);  // Child's fresh write gone.
+  ctx.pop_msg();
+  (void)parent.commit();
+  EXPECT_EQ(map.raw_get(1), 10);
+  EXPECT_EQ(map.raw_get(2), std::nullopt);
+}
+
+TEST(LazyMap, NestedChildCommitMergesIntoParent) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction parent(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, parent, test_meter());
+  ctx.push_msg(MsgContext{Address::from_u64(1), Address::from_u64(2), 0});
+
+  (void)ctx.nested_call(Address::from_u64(3), 0, [&](ExecContext& inner) {
+    map.put(inner, 5, 50);
+  });
+  EXPECT_EQ(map.get(ctx, 5), 50);  // Parent sees the child's committed buffer.
+  EXPECT_EQ(map.raw_get(5), std::nullopt);
+  ctx.pop_msg();
+  (void)parent.commit();
+  EXPECT_EQ(map.raw_get(5), 50);
+}
+
+TEST(LazyMap, HashStateIgnoresPendingBuffers) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 10);
+  StateHasher before;
+  map.hash_state(before, "m");
+
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+  map.put(ctx, 2, 20);
+  StateHasher during;
+  map.hash_state(during, "m");
+  EXPECT_EQ(before.finish(), during.finish());
+  action.abort();
+}
+
+// -------------------------------------------------- KvStore + pipeline --
+
+using contracts::KvStore;
+
+const Address kEagerAddr = Address::from_u64(70, 0xCC);
+const Address kLazyAddr = Address::from_u64(71, 0xCC);
+
+std::unique_ptr<World> kv_world(KvStore::Backend backend, const Address& addr) {
+  auto world = std::make_unique<World>();
+  auto store = std::make_unique<KvStore>(addr, backend);
+  store->raw_put(0, KvStore::kTombstone);  // One immutable key for reverts.
+  world->contracts().add(std::move(store));
+  return world;
+}
+
+std::vector<chain::Transaction> kv_block(const Address& addr, std::size_t n,
+                                         unsigned hot_percent, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<chain::Transaction> txs;
+  txs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Address sender = Address::from_u64(1000 + i, 0x06);
+    // Hot traffic hammers key 1; cold traffic spreads across the space.
+    const std::uint64_t key = rng.chance_percent(hot_percent) ? 1 : 100 + rng.below(10'000);
+    if (rng.chance_percent(25)) {
+      txs.push_back(KvStore::make_get_tx(addr, sender, key));
+    } else {
+      txs.push_back(
+          KvStore::make_put_tx(addr, sender, key, static_cast<std::int64_t>(rng.below(1000))));
+    }
+  }
+  return txs;
+}
+
+chain::Block genesis_of(const World& world) {
+  chain::Block genesis;
+  genesis.header.state_root = world.state_root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  return genesis;
+}
+
+class LazyKvPipeline : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LazyKvPipeline, LazyMiningValidatesAndMatchesEagerSchedulesStructure) {
+  const unsigned hot = GetParam();
+  const auto txs_eager = kv_block(kEagerAddr, 80, hot, 7);
+  const auto txs_lazy = kv_block(kLazyAddr, 80, hot, 7);
+
+  auto eager_world = kv_world(KvStore::Backend::kEager, kEagerAddr);
+  core::Miner eager_miner(*eager_world, core::MinerConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto eager_block = eager_miner.mine(txs_eager, genesis_of(*eager_world));
+
+  auto lazy_world = kv_world(KvStore::Backend::kLazy, kLazyAddr);
+  core::Miner lazy_miner(*lazy_world, core::MinerConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto lazy_block = lazy_miner.mine(txs_lazy, genesis_of(*lazy_world));
+
+  // Identical logical workload → identical outcome multiplicity (the
+  // schedules themselves may differ: different discovery).
+  EXPECT_EQ(eager_block.statuses.size(), lazy_block.statuses.size());
+
+  // Each validates on its own fresh node.
+  auto eager_replica = kv_world(KvStore::Backend::kEager, kEagerAddr);
+  core::Validator ev(*eager_replica, core::ValidatorConfig{.threads = 3, .nanos_per_gas = 0.0});
+  EXPECT_TRUE(ev.validate_parallel(eager_block).ok);
+
+  auto lazy_replica = kv_world(KvStore::Backend::kLazy, kLazyAddr);
+  core::Validator lv(*lazy_replica, core::ValidatorConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto report = lv.validate_parallel(lazy_block);
+  EXPECT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(HotKeyLevels, LazyKvPipeline, ::testing::Values(0u, 20u, 60u, 95u),
+                         [](const auto& info) {
+                           return "hot" + std::to_string(info.param) + "pct";
+                         });
+
+TEST(KvStore, TombstoneRejectsWrites) {
+  auto world = kv_world(KvStore::Backend::kLazy, kLazyAddr);
+  const auto tx = KvStore::make_put_tx(kLazyAddr, Address::from_u64(1), 0, 5);
+  ExecContext ctx = ExecContext::serial(*world, test_meter());
+  EXPECT_EQ(core::execute_transaction(*world, tx, ctx), TxStatus::kReverted);
+  auto& store = world->contracts().as<KvStore>(kLazyAddr);
+  EXPECT_EQ(store.raw_get(0), KvStore::kTombstone);
+}
+
+TEST(KvStore, EagerAndLazyConvergeToSameState) {
+  // Same serialized order ⇒ same final contents, backend-independent.
+  auto eager_world = kv_world(KvStore::Backend::kEager, kEagerAddr);
+  auto lazy_world = kv_world(KvStore::Backend::kLazy, kLazyAddr);
+  const auto txs_e = kv_block(kEagerAddr, 60, 30, 11);
+  const auto txs_l = kv_block(kLazyAddr, 60, 30, 11);
+
+  core::Miner me(*eager_world, core::MinerConfig{.threads = 1, .nanos_per_gas = 0.0});
+  core::Miner ml(*lazy_world, core::MinerConfig{.threads = 1, .nanos_per_gas = 0.0});
+  (void)me.mine(txs_e, genesis_of(*eager_world));
+  (void)ml.mine(txs_l, genesis_of(*lazy_world));
+
+  auto& es = eager_world->contracts().as<KvStore>(kEagerAddr);
+  auto& ls = lazy_world->contracts().as<KvStore>(kLazyAddr);
+  for (std::uint64_t key : {std::uint64_t{1}, std::uint64_t{0}}) {
+    EXPECT_EQ(es.raw_get(key), ls.raw_get(key)) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace concord::vm

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "graph/happens_before.hpp"
+#include "workload/workload.hpp"
+
+namespace concord::core {
+namespace {
+
+using workload::BenchmarkKind;
+using workload::Fixture;
+using workload::WorkloadSpec;
+using workload::make_fixture;
+
+/// Unit tests skip the calibrated gas burn; the speedup benches enable it.
+MinerConfig fast_miner(unsigned threads = 3) {
+  MinerConfig cfg;
+  cfg.threads = threads;
+  cfg.nanos_per_gas = 0.0;
+  return cfg;
+}
+
+ValidatorConfig fast_validator(unsigned threads = 3) {
+  ValidatorConfig cfg;
+  cfg.threads = threads;
+  cfg.nanos_per_gas = 0.0;
+  return cfg;
+}
+
+WorkloadSpec spec_of(BenchmarkKind kind, std::size_t txs, unsigned conflict,
+                     std::uint64_t seed = 42) {
+  WorkloadSpec spec;
+  spec.kind = kind;
+  spec.transactions = txs;
+  spec.conflict_percent = conflict;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Mines `spec` in parallel and returns (block, fixture-after-mining).
+std::pair<chain::Block, Fixture> mine_parallel(const WorkloadSpec& spec) {
+  Fixture fixture = make_fixture(spec);
+  Miner miner(*fixture.world, fast_miner());
+  chain::Block block = miner.mine(fixture.transactions, fixture.genesis());
+  return {std::move(block), std::move(fixture)};
+}
+
+// ----------------------------------------------------- Serial mining ---
+
+TEST(MinerSerial, ProducesValidatableBlock) {
+  Fixture fixture = make_fixture(spec_of(BenchmarkKind::kBallot, 50, 20));
+  Miner miner(*fixture.world, fast_miner());
+  const chain::Block block = miner.mine_serial(fixture.transactions, fixture.genesis());
+
+  EXPECT_TRUE(block.commitments_consistent());
+  EXPECT_EQ(block.schedule.profiles.size(), 50u);
+  // Serial order of a serially-mined block is a topological order of its
+  // own derived graph, and replays cleanly.
+  Fixture replay = make_fixture(spec_of(BenchmarkKind::kBallot, 50, 20));
+  Validator validator(*replay.world, fast_validator());
+  const ValidationReport report = validator.validate_parallel(block);
+  EXPECT_TRUE(report.ok) << to_string(report.reason) << ": " << report.detail;
+}
+
+TEST(MinerSerial, BaselineMatchesSerialMining) {
+  Fixture a = make_fixture(spec_of(BenchmarkKind::kBallot, 60, 30));
+  Fixture b = make_fixture(spec_of(BenchmarkKind::kBallot, 60, 30));
+  Miner miner_a(*a.world, fast_miner());
+  Miner miner_b(*b.world, fast_miner());
+  const auto statuses = miner_a.execute_serial_baseline(a.transactions);
+  const chain::Block block = miner_b.mine_serial(b.transactions, b.genesis());
+  EXPECT_EQ(statuses, block.statuses);
+  EXPECT_EQ(a.world->state_root(), block.header.state_root);
+}
+
+// --------------------------------------------------- Parallel mining ---
+
+class ParallelMiningCorrectness
+    : public ::testing::TestWithParam<std::tuple<BenchmarkKind, std::size_t, unsigned>> {};
+
+/// THE serializability property (paper §5): the parallel miner's final
+/// state must equal executing the discovered serial order S one
+/// transaction at a time from the same initial state, with identical
+/// per-transaction outcomes.
+TEST_P(ParallelMiningCorrectness, EquivalentToDiscoveredSerialOrder) {
+  const auto [kind, txs, conflict] = GetParam();
+  const WorkloadSpec spec = spec_of(kind, txs, conflict);
+
+  auto [block, mined_fixture] = mine_parallel(spec);
+  ASSERT_EQ(block.transactions.size(), txs);
+
+  // Re-execute serially in the discovered order S on a fresh fixture.
+  Fixture serial_fixture = make_fixture(spec);
+  Validator oracle(*serial_fixture.world, fast_validator());
+  const ValidationReport report = oracle.validate_serial(block);
+  EXPECT_TRUE(report.ok) << to_string(report.reason) << ": " << report.detail;
+}
+
+TEST_P(ParallelMiningCorrectness, ParallelValidatorAccepts) {
+  const auto [kind, txs, conflict] = GetParam();
+  const WorkloadSpec spec = spec_of(kind, txs, conflict);
+
+  auto [block, mined_fixture] = mine_parallel(spec);
+  Fixture replay_fixture = make_fixture(spec);
+  Validator validator(*replay_fixture.world, fast_validator());
+  const ValidationReport report = validator.validate_parallel(block);
+  EXPECT_TRUE(report.ok) << to_string(report.reason) << ": " << report.detail;
+  EXPECT_EQ(replay_fixture.world->state_root(), mined_fixture.world->state_root());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ParallelMiningCorrectness,
+    ::testing::Combine(::testing::Values(BenchmarkKind::kBallot, BenchmarkKind::kSimpleAuction,
+                                         BenchmarkKind::kEtherDoc, BenchmarkKind::kMixed),
+                       ::testing::Values(std::size_t{10}, std::size_t{60}, std::size_t{150}),
+                       ::testing::Values(0u, 15u, 50u, 100u)),
+    [](const auto& info) {
+      // No structured bindings here: the commas inside [k, t, c] would be
+      // parsed as macro-argument separators by INSTANTIATE_TEST_SUITE_P.
+      return std::string(workload::to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "txs_" +
+             std::to_string(std::get<2>(info.param)) + "pct";
+    });
+
+TEST(MinerParallel, ManySeedsManySchedulesAllSerializable) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WorkloadSpec spec = spec_of(BenchmarkKind::kMixed, 90, 40, seed);
+    auto [block, mined] = mine_parallel(spec);
+    Fixture oracle_fixture = make_fixture(spec);
+    Validator oracle(*oracle_fixture.world, fast_validator());
+    const auto report = oracle.validate_serial(block);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << to_string(report.reason);
+  }
+}
+
+TEST(MinerParallel, DerivedScheduleIsAcyclicAndOrdered) {
+  auto [block, fixture] = mine_parallel(spec_of(BenchmarkKind::kBallot, 100, 50));
+  const auto graph = block.schedule.to_graph(block.transactions.size());
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_TRUE(graph.is_topological_order(block.schedule.serial_order));
+}
+
+TEST(MinerParallel, ConflictingPairsAreOrderedInSchedule) {
+  // At 100% conflict every Ballot voter votes twice; each pair must be
+  // connected in the happens-before graph (same voter entry, W/W).
+  auto [block, fixture] = mine_parallel(spec_of(BenchmarkKind::kBallot, 40, 100));
+  const auto graph = block.schedule.to_graph(40);
+  // Exactly one vote per pair succeeds, the other reverts.
+  std::size_t reverted = 0;
+  for (const auto s : block.statuses) reverted += s == vm::TxStatus::kReverted ? 1 : 0;
+  EXPECT_EQ(reverted, 20u);
+  EXPECT_GE(graph.edge_count(), 20u);
+}
+
+TEST(MinerParallel, NoConflictBlockHasNoEdgesAmongSuccesses) {
+  auto [block, fixture] = mine_parallel(spec_of(BenchmarkKind::kEtherDoc, 80, 0));
+  // Pure lookups on distinct documents: no edges at all.
+  EXPECT_EQ(block.schedule.edges.size(), 0u);
+  for (const auto s : block.statuses) EXPECT_EQ(s, vm::TxStatus::kSuccess);
+}
+
+TEST(MinerParallel, StatsAreCoherent) {
+  Fixture fixture = make_fixture(spec_of(BenchmarkKind::kSimpleAuction, 100, 60));
+  Miner miner(*fixture.world, fast_miner());
+  (void)miner.mine(fixture.transactions, fixture.genesis());
+  const MinerStats& stats = miner.last_stats();
+  EXPECT_EQ(stats.transactions, 100u);
+  EXPECT_GE(stats.attempts, 100u);
+  EXPECT_EQ(stats.attempts - 100u, stats.conflict_aborts);
+  EXPECT_GT(stats.schedule_bytes, 0u);
+}
+
+TEST(MinerParallel, SingleThreadMatchesMultiThreadStateRoot) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kBallot, 80, 15);
+  Fixture one = make_fixture(spec);
+  Miner miner_one(*one.world, fast_miner(1));
+  const auto block_one = miner_one.mine(one.transactions, one.genesis());
+
+  Fixture many = make_fixture(spec);
+  Miner miner_many(*many.world, fast_miner(6));
+  const auto block_many = miner_many.mine(many.transactions, many.genesis());
+
+  // Schedules may differ (different discovery), but both must be valid
+  // and Ballot's final state is order-independent here: same voters, same
+  // proposal tallies.
+  EXPECT_EQ(block_one.header.state_root, block_many.header.state_root);
+}
+
+// ----------------------------------------------------- Validation ------
+
+class TamperRejection : public ::testing::Test {
+ protected:
+  TamperRejection() {
+    const WorkloadSpec spec = spec_of(BenchmarkKind::kMixed, 60, 30);
+    auto [block, fixture] = mine_parallel(spec);
+    block_ = std::move(block);
+    spec_ = spec;
+  }
+
+  /// Re-seals header commitments after mutating the body, so the tampering
+  /// is only detectable semantically (the harder case).
+  void reseal() {
+    block_.header.tx_root = block_.compute_tx_root();
+    block_.header.status_root = block_.compute_status_root();
+    block_.header.schedule_hash = block_.schedule.hash();
+  }
+
+  ValidationReport validate() {
+    Fixture fixture = make_fixture(spec_);
+    Validator validator(*fixture.world, fast_validator());
+    return validator.validate_parallel(block_);
+  }
+
+  chain::Block block_;
+  WorkloadSpec spec_;
+};
+
+TEST_F(TamperRejection, HonestBlockAccepted) {
+  const auto report = validate();
+  EXPECT_TRUE(report.ok) << to_string(report.reason) << ": " << report.detail;
+}
+
+TEST_F(TamperRejection, UnsealedTamperingHitsCommitments) {
+  block_.statuses[0] = block_.statuses[0] == vm::TxStatus::kSuccess ? vm::TxStatus::kReverted
+                                                                    : vm::TxStatus::kSuccess;
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kBadCommitments);
+}
+
+TEST_F(TamperRejection, WrongStateRootRejected) {
+  block_.header.state_root = util::sha256("forged state");
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kStateRootMismatch);
+}
+
+TEST_F(TamperRejection, DroppedEdgesRejected) {
+  // Remove the ordering constraints while keeping the profiles: the
+  // "schedule has a data race" case — must be caught structurally.
+  if (block_.schedule.edges.empty()) GTEST_SKIP() << "no conflicts in this block";
+  block_.schedule.edges.clear();
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kMissingConstraint);
+}
+
+TEST_F(TamperRejection, ForgedProfileRejected) {
+  // Claim tx 0 touches nothing: the replay trace will disagree.
+  block_.schedule.profiles[0].entries.clear();
+  // Rebuild edges/serial order so the structural checks pass and we reach
+  // the replay stage.
+  const auto derived =
+      graph::derive_happens_before(block_.schedule.profiles, block_.transactions.size());
+  block_.schedule.edges = derived.edges();
+  block_.schedule.serial_order = *derived.topological_order();
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kProfileMismatch);
+}
+
+TEST_F(TamperRejection, CyclicScheduleRejected) {
+  block_.schedule.edges.emplace_back(0, 1);
+  block_.schedule.edges.emplace_back(1, 0);
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  // The forged back-edge isn't profile-derived... it is extra, which is
+  // allowed, but the cycle must be caught.
+  EXPECT_EQ(report.reason, RejectReason::kCyclicSchedule);
+}
+
+TEST_F(TamperRejection, BadSerialOrderRejected) {
+  if (block_.schedule.edges.empty()) GTEST_SKIP() << "no edges, any order valid";
+  const auto [u, v] = block_.schedule.edges.front();
+  auto& order = block_.schedule.serial_order;
+  const auto pos_u = std::find(order.begin(), order.end(), u);
+  const auto pos_v = std::find(order.begin(), order.end(), v);
+  std::iter_swap(pos_u, pos_v);  // Now v precedes u despite edge u→v.
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kBadSerialOrder);
+}
+
+TEST_F(TamperRejection, MalformedProfileIndexRejected) {
+  block_.schedule.profiles[0].tx = 59;  // Duplicate of the last tx index.
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kMalformedSchedule);
+}
+
+TEST_F(TamperRejection, EdgeOutOfRangeRejected) {
+  block_.schedule.edges.emplace_back(0, 10'000);
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.reason, RejectReason::kMalformedSchedule);
+}
+
+TEST_F(TamperRejection, ForgedStatusVectorRejected) {
+  // Flip one status and reseal: structural checks pass, replay disagrees.
+  auto& s = block_.statuses[0];
+  s = s == vm::TxStatus::kSuccess ? vm::TxStatus::kReverted : vm::TxStatus::kSuccess;
+  reseal();
+  const auto report = validate();
+  EXPECT_FALSE(report.ok);
+  // Either the per-profile reverted flag disagrees with the replayed
+  // outcome (profile mismatch) or the status vector comparison fires.
+  EXPECT_TRUE(report.reason == RejectReason::kStatusMismatch ||
+              report.reason == RejectReason::kProfileMismatch)
+      << to_string(report.reason);
+}
+
+// ------------------------------------------------ Validator variants ---
+
+TEST(Validator, DeterministicAcrossThreadCounts) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kMixed, 120, 50);
+  auto [block, mined] = mine_parallel(spec);
+  for (const unsigned threads : {1u, 2u, 3u, 6u}) {
+    Fixture fixture = make_fixture(spec);
+    Validator validator(*fixture.world, fast_validator(threads));
+    const auto report = validator.validate_parallel(block);
+    EXPECT_TRUE(report.ok) << threads << " threads: " << to_string(report.reason) << " "
+                           << report.detail;
+    EXPECT_EQ(fixture.world->state_root(), block.header.state_root);
+  }
+}
+
+TEST(Validator, RepeatedValidationIsStable) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kSimpleAuction, 100, 40);
+  auto [block, mined] = mine_parallel(spec);
+  Fixture fixture = make_fixture(spec);
+  Validator validator(*fixture.world, fast_validator());
+  EXPECT_TRUE(validator.validate_parallel(block).ok);
+  // Second validation from a *fresh* world must agree.
+  Fixture fixture2 = make_fixture(spec);
+  Validator validator2(*fixture2.world, fast_validator());
+  EXPECT_TRUE(validator2.validate_parallel(block).ok);
+  EXPECT_EQ(fixture.world->state_root(), fixture2.world->state_root());
+}
+
+TEST(Validator, SerialAndParallelValidatorsAgree) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kEtherDoc, 90, 70);
+  auto [block, mined] = mine_parallel(spec);
+  Fixture f1 = make_fixture(spec);
+  Fixture f2 = make_fixture(spec);
+  Validator serial(*f1.world, fast_validator());
+  Validator parallel(*f2.world, fast_validator());
+  EXPECT_TRUE(serial.validate_serial(block).ok);
+  EXPECT_TRUE(parallel.validate_parallel(block).ok);
+  EXPECT_EQ(f1.world->state_root(), f2.world->state_root());
+}
+
+TEST(Validator, EmptyBlockValidates) {
+  Fixture fixture = make_fixture(spec_of(BenchmarkKind::kBallot, 0, 0));
+  Miner miner(*fixture.world, fast_miner());
+  const auto block = miner.mine({}, fixture.genesis());
+  Fixture replay = make_fixture(spec_of(BenchmarkKind::kBallot, 0, 0));
+  Validator validator(*replay.world, fast_validator());
+  EXPECT_TRUE(validator.validate_parallel(block).ok);
+}
+
+}  // namespace
+}  // namespace concord::core

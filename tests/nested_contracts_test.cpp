@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "contracts/payment_splitter.hpp"
+#include "contracts/token.hpp"
+#include "core/execution.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "vm/errors.hpp"
+#include "vm/world.hpp"
+
+namespace concord::contracts {
+namespace {
+
+using vm::Address;
+using vm::ExecContext;
+using vm::GasMeter;
+using vm::MsgContext;
+using vm::World;
+
+GasMeter test_meter(std::uint64_t limit = vm::gas::kDefaultTxGasLimit) {
+  return GasMeter(limit, 0.0);
+}
+
+const Address kIssuer = Address::from_u64(1);
+const Address kAlice = Address::from_u64(2);
+const Address kBob = Address::from_u64(3);
+const Address kCarol = Address::from_u64(4);
+const Address kTokenAddr = Address::from_u64(60, 0xCC);
+const Address kSplitterAddr = Address::from_u64(61, 0xCC);
+
+template <typename Fn>
+void as(World& world, const Address& sender, const Address& contract, Fn&& fn) {
+  ExecContext ctx = ExecContext::serial(world, test_meter());
+  ctx.push_msg(MsgContext{sender, contract, 0});
+  fn(ctx);
+  ctx.pop_msg();
+}
+
+// --------------------------------------------------------------- Token --
+
+class TokenTest : public ::testing::Test {
+ protected:
+  TokenTest() {
+    auto contract = std::make_unique<Token>(kTokenAddr, "CCD", kIssuer);
+    token_ = contract.get();
+    world_.contracts().add(std::move(contract));
+    token_->raw_mint(kAlice, 1'000);
+  }
+
+  World world_;
+  Token* token_ = nullptr;
+};
+
+TEST_F(TokenTest, TransferMovesBalance) {
+  as(world_, kAlice, kTokenAddr, [&](ExecContext& ctx) { token_->transfer(ctx, kBob, 250); });
+  EXPECT_EQ(token_->raw_balance(kAlice), 750);
+  EXPECT_EQ(token_->raw_balance(kBob), 250);
+  EXPECT_EQ(token_->raw_total_supply(), 1'000);
+}
+
+TEST_F(TokenTest, OverdraftReverts) {
+  as(world_, kAlice, kTokenAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(token_->transfer(ctx, kBob, 1'001), vm::RevertError);
+  });
+  EXPECT_EQ(token_->raw_balance(kAlice), 1'000);
+}
+
+TEST_F(TokenTest, NonPositiveTransferReverts) {
+  as(world_, kAlice, kTokenAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(token_->transfer(ctx, kBob, 0), vm::RevertError);
+    EXPECT_THROW(token_->transfer(ctx, kBob, -5), vm::RevertError);
+  });
+}
+
+TEST_F(TokenTest, MintOnlyIssuer) {
+  as(world_, kIssuer, kTokenAddr, [&](ExecContext& ctx) { token_->mint(ctx, kBob, 50); });
+  EXPECT_EQ(token_->raw_balance(kBob), 50);
+  as(world_, kAlice, kTokenAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(token_->mint(ctx, kBob, 50), vm::RevertError);
+  });
+}
+
+TEST_F(TokenTest, BalanceOfReads) {
+  as(world_, kBob, kTokenAddr, [&](ExecContext& ctx) {
+    EXPECT_EQ(token_->balance_of(ctx, kAlice), 1'000);
+    EXPECT_EQ(token_->balance_of(ctx, kCarol), 0);
+  });
+}
+
+TEST_F(TokenTest, ExecuteDispatchesTransferTx) {
+  const auto tx = Token::make_transfer_tx(kTokenAddr, kAlice, kBob, 10);
+  ExecContext ctx = ExecContext::serial(world_, test_meter());
+  EXPECT_EQ(core::execute_transaction(world_, tx, ctx), vm::TxStatus::kSuccess);
+  EXPECT_EQ(token_->raw_balance(kBob), 10);
+}
+
+// ------------------------------------------------------ PaymentSplitter --
+
+class SplitterTest : public ::testing::Test {
+ protected:
+  SplitterTest() {
+    auto token = std::make_unique<Token>(kTokenAddr, "CCD", kIssuer);
+    token_ = token.get();
+    world_.contracts().add(std::move(token));
+    auto splitter = std::make_unique<PaymentSplitter>(
+        kSplitterAddr, kTokenAddr, std::vector<Address>{kAlice, kBob, kCarol});
+    splitter_ = splitter.get();
+    world_.contracts().add(std::move(splitter));
+  }
+
+  World world_;
+  Token* token_ = nullptr;
+  PaymentSplitter* splitter_ = nullptr;
+};
+
+TEST_F(SplitterTest, DistributesEqualShares) {
+  token_->raw_mint(kSplitterAddr, 900);
+  as(world_, kIssuer, kSplitterAddr, [&](ExecContext& ctx) { splitter_->distribute(ctx, 900); });
+  EXPECT_EQ(token_->raw_balance(kAlice), 300);
+  EXPECT_EQ(token_->raw_balance(kBob), 300);
+  EXPECT_EQ(token_->raw_balance(kCarol), 300);
+  EXPECT_EQ(splitter_->raw_distributions(), 1);
+  EXPECT_EQ(splitter_->raw_failed_legs(), 0);
+}
+
+TEST_F(SplitterTest, NestedSenderIsSplitterContract) {
+  // The Token debits msg.sender — which inside the nested call must be
+  // the splitter contract, not the externally-owned account that called
+  // distribute. If msg.sender were wrong, this would drain kIssuer.
+  token_->raw_mint(kSplitterAddr, 300);
+  token_->raw_mint(kIssuer, 77);
+  as(world_, kIssuer, kSplitterAddr, [&](ExecContext& ctx) { splitter_->distribute(ctx, 300); });
+  EXPECT_EQ(token_->raw_balance(kIssuer), 77);
+  EXPECT_EQ(token_->raw_balance(kSplitterAddr), 0);
+}
+
+TEST_F(SplitterTest, PartialFailureCommitsSuccessfulLegs) {
+  // Enough for two shares only: the third nested transfer reverts, the
+  // first two stick — child abort does not abort the parent.
+  token_->raw_mint(kSplitterAddr, 200);
+  as(world_, kIssuer, kSplitterAddr, [&](ExecContext& ctx) { splitter_->distribute(ctx, 300); });
+  EXPECT_EQ(token_->raw_balance(kAlice), 100);
+  EXPECT_EQ(token_->raw_balance(kBob), 100);
+  EXPECT_EQ(token_->raw_balance(kCarol), 0);
+  EXPECT_EQ(splitter_->raw_failed_legs(), 1);
+}
+
+TEST_F(SplitterTest, TotalFailureRevertsDistribute) {
+  // No balance at all: every leg fails and the whole call reverts, so the
+  // stats counters stay untouched.
+  as(world_, kIssuer, kSplitterAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(splitter_->distribute(ctx, 300), vm::RevertError);
+  });
+  EXPECT_EQ(splitter_->raw_distributions(), 0);
+}
+
+TEST_F(SplitterTest, TinyAmountReverts) {
+  as(world_, kIssuer, kSplitterAddr, [&](ExecContext& ctx) {
+    EXPECT_THROW(splitter_->distribute(ctx, 2), vm::RevertError);
+  });
+}
+
+TEST_F(SplitterTest, RequiresPayees) {
+  EXPECT_THROW(PaymentSplitter(Address::from_u64(77, 0xCC), kTokenAddr, {}), vm::BadCall);
+}
+
+// -------------------------------- Nested actions through the pipeline ---
+
+/// Builds the token+splitter world used by the mining tests below.
+std::unique_ptr<World> splitter_world() {
+  auto world = std::make_unique<World>();
+  auto token = std::make_unique<Token>(kTokenAddr, "CCD", kIssuer);
+  token->raw_mint(kSplitterAddr, 1'000'000);
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    token->raw_mint(Address::from_u64(100 + s), 10'000);
+  }
+  world->contracts().add(std::move(token));
+  world->contracts().add(std::make_unique<PaymentSplitter>(
+      kSplitterAddr, kTokenAddr, std::vector<Address>{kAlice, kBob, kCarol}));
+  return world;
+}
+
+chain::Block genesis_of(const World& world) {
+  chain::Block genesis;
+  genesis.header.state_root = world.state_root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  genesis.header.status_root = genesis.compute_status_root();
+  genesis.header.schedule_hash = genesis.schedule.hash();
+  return genesis;
+}
+
+TEST(NestedPipeline, MinedBlockWithNestedCallsValidates) {
+  // A block mixing plain token transfers (distinct senders — parallel)
+  // with distribute() calls whose nested transfers all debit the
+  // splitter's balance (contended) and credit the same three payees.
+  std::vector<chain::Transaction> txs;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    txs.push_back(Token::make_transfer_tx(kTokenAddr, Address::from_u64(100 + s),
+                                          Address::from_u64(200 + s), 5));
+  }
+  for (int d = 0; d < 12; ++d) {
+    txs.push_back(PaymentSplitter::make_distribute_tx(kSplitterAddr, kIssuer, 300));
+  }
+
+  auto miner_world = splitter_world();
+  core::Miner miner(*miner_world, core::MinerConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const chain::Block block = miner.mine(txs, genesis_of(*miner_world));
+
+  for (const auto status : block.statuses) EXPECT_EQ(status, vm::TxStatus::kSuccess);
+
+  auto validator_world = splitter_world();
+  core::Validator validator(*validator_world,
+                            core::ValidatorConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto report = validator.validate_parallel(block);
+  ASSERT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+
+  auto& token = validator_world->contracts().as<Token>(kTokenAddr);
+  EXPECT_EQ(token.raw_balance(kAlice), 12 * 100);
+  EXPECT_EQ(token.raw_balance(kSplitterAddr), 1'000'000 - 12 * 300);
+  EXPECT_EQ(token.raw_total_supply(), 1'000'000 + 64 * 10'000);
+}
+
+TEST(NestedPipeline, PartialLegFailuresAreDeterministic) {
+  // Fund the splitter for exactly 2 full distributions plus 2 legs: the
+  // serialization order decides which distribute() call hits the dry
+  // balance mid-way, and the validator must reproduce that cut exactly.
+  auto miner_world = splitter_world();
+  auto& token = miner_world->contracts().as<Token>(kTokenAddr);
+  token.raw_set_balance(kSplitterAddr, 800);
+
+  std::vector<chain::Transaction> txs;
+  for (int d = 0; d < 4; ++d) {
+    txs.push_back(PaymentSplitter::make_distribute_tx(kSplitterAddr, kIssuer, 300));
+  }
+
+  core::Miner miner(*miner_world, core::MinerConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const chain::Block block = miner.mine(txs, genesis_of(*miner_world));
+
+  auto validator_world = splitter_world();
+  auto& vtoken = validator_world->contracts().as<Token>(kTokenAddr);
+  vtoken.raw_set_balance(kSplitterAddr, 800);
+  core::Validator validator(*validator_world,
+                            core::ValidatorConfig{.threads = 3, .nanos_per_gas = 0.0});
+  const auto report = validator.validate_parallel(block);
+  ASSERT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+  EXPECT_EQ(validator_world->state_root(), block.header.state_root);
+}
+
+}  // namespace
+}  // namespace concord::contracts

@@ -1,0 +1,505 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "stm/conflict.hpp"
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+#include "stm/runtime.hpp"
+#include "stm/speculative_action.hpp"
+
+namespace concord::stm {
+namespace {
+
+// ---------------------------------------------------------- LockMode ---
+
+TEST(LockMode, ConflictMatrix) {
+  using enum LockMode;
+  EXPECT_FALSE(conflicts(kRead, kRead));
+  EXPECT_FALSE(conflicts(kIncrement, kIncrement));
+  EXPECT_TRUE(conflicts(kRead, kWrite));
+  EXPECT_TRUE(conflicts(kWrite, kRead));
+  EXPECT_TRUE(conflicts(kWrite, kWrite));
+  EXPECT_TRUE(conflicts(kRead, kIncrement));
+  EXPECT_TRUE(conflicts(kIncrement, kRead));
+  EXPECT_TRUE(conflicts(kIncrement, kWrite));
+}
+
+TEST(LockMode, Covers) {
+  using enum LockMode;
+  EXPECT_TRUE(covers(kWrite, kRead));
+  EXPECT_TRUE(covers(kWrite, kIncrement));
+  EXPECT_TRUE(covers(kWrite, kWrite));
+  EXPECT_TRUE(covers(kRead, kRead));
+  EXPECT_FALSE(covers(kRead, kWrite));
+  EXPECT_FALSE(covers(kRead, kIncrement));
+  EXPECT_FALSE(covers(kIncrement, kRead));
+}
+
+TEST(LockMode, CombineIsLeastUpperBound) {
+  using enum LockMode;
+  EXPECT_EQ(combine(kRead, kRead), kRead);
+  EXPECT_EQ(combine(kIncrement, kIncrement), kIncrement);
+  EXPECT_EQ(combine(kRead, kIncrement), kWrite);
+  EXPECT_EQ(combine(kRead, kWrite), kWrite);
+  EXPECT_EQ(combine(kIncrement, kWrite), kWrite);
+}
+
+// ------------------------------------------------------------ LockId ---
+
+TEST(LockId, DeterministicHashes) {
+  EXPECT_EQ(fnv1a64("voters"), fnv1a64("voters"));
+  EXPECT_NE(fnv1a64("voters"), fnv1a64("voterz"));
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(LockId, Ordering) {
+  const LockId a{1, 5};
+  const LockId b{1, 6};
+  const LockId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (LockId{1, 5}));
+}
+
+// --------------------------------------------------- Basic lifecycle ---
+
+TEST(SpeculativeAction, CommitReleasesLocksAndBumpsCounters) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{1, 1});
+  LockProfile profile;
+  {
+    SpeculativeAction action(rt, 0, rt.next_birth());
+    action.acquire(lock, LockMode::kWrite);
+    EXPECT_EQ(lock.holder_count(), 1u);
+    profile = action.commit();
+  }
+  EXPECT_EQ(lock.holder_count(), 0u);
+  EXPECT_EQ(lock.use_counter(), 1u);
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].lock, (LockId{1, 1}));
+  EXPECT_EQ(profile.entries[0].mode, LockMode::kWrite);
+  EXPECT_EQ(profile.entries[0].counter, 1u);
+  EXPECT_FALSE(profile.reverted);
+}
+
+TEST(SpeculativeAction, AbortRunsInversesInReverseOrder) {
+  BoostingRuntime rt;
+  std::vector<int> undone;
+  {
+    SpeculativeAction action(rt, 0, rt.next_birth());
+    action.log_inverse([&undone] { undone.push_back(1); });
+    action.log_inverse([&undone] { undone.push_back(2); });
+    action.log_inverse([&undone] { undone.push_back(3); });
+    action.abort();
+  }
+  EXPECT_EQ(undone, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(SpeculativeAction, DestructorAbortsActiveAction) {
+  BoostingRuntime rt;
+  int undone = 0;
+  AbstractLock& lock = rt.locks().get(LockId{1, 2});
+  {
+    SpeculativeAction action(rt, 0, rt.next_birth());
+    action.acquire(lock, LockMode::kWrite);
+    action.log_inverse([&undone] { ++undone; });
+  }
+  EXPECT_EQ(undone, 1);
+  EXPECT_EQ(lock.holder_count(), 0u);
+  EXPECT_EQ(lock.use_counter(), 0u);  // Aborts do not bump use counters.
+}
+
+TEST(SpeculativeAction, RevertedCommitUndoesButPublishesProfile) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{1, 3});
+  int undone = 0;
+  SpeculativeAction action(rt, 7, rt.next_birth());
+  action.acquire(lock, LockMode::kWrite);
+  action.log_inverse([&undone] { ++undone; });
+  const LockProfile profile = action.commit(/*reverted=*/true);
+  EXPECT_EQ(undone, 1);
+  EXPECT_TRUE(profile.reverted);
+  EXPECT_EQ(profile.tx, 7u);
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(lock.use_counter(), 1u);  // Reverted txs still occupy schedule slots.
+}
+
+TEST(SpeculativeAction, ReacquireInCoveredModeIsIdempotent) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{2, 0});
+  SpeculativeAction action(rt, 0, rt.next_birth());
+  action.acquire(lock, LockMode::kWrite);
+  action.acquire(lock, LockMode::kRead);
+  action.acquire(lock, LockMode::kWrite);
+  EXPECT_EQ(action.held_lock_count(), 1u);
+  const LockProfile profile = action.commit();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].mode, LockMode::kWrite);
+}
+
+TEST(SpeculativeAction, UpgradePublishesCombinedMode) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{2, 1});
+  SpeculativeAction action(rt, 0, rt.next_birth());
+  action.acquire(lock, LockMode::kRead);
+  action.acquire(lock, LockMode::kWrite);  // Upgrade in place.
+  const LockProfile profile = action.commit();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].mode, LockMode::kWrite);
+}
+
+TEST(SpeculativeAction, ReadIncrementCombineToWrite) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{2, 2});
+  SpeculativeAction action(rt, 0, rt.next_birth());
+  action.acquire(lock, LockMode::kRead);
+  action.acquire(lock, LockMode::kIncrement);
+  const LockProfile profile = action.commit();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].mode, LockMode::kWrite);
+}
+
+TEST(SpeculativeAction, ProfileIsCanonicallySorted) {
+  BoostingRuntime rt;
+  SpeculativeAction action(rt, 0, rt.next_birth());
+  action.acquire(rt.locks().get(LockId{9, 9}), LockMode::kRead);
+  action.acquire(rt.locks().get(LockId{1, 1}), LockMode::kRead);
+  action.acquire(rt.locks().get(LockId{5, 5}), LockMode::kRead);
+  const LockProfile profile = action.commit();
+  ASSERT_EQ(profile.entries.size(), 3u);
+  EXPECT_LT(profile.entries[0].lock, profile.entries[1].lock);
+  EXPECT_LT(profile.entries[1].lock, profile.entries[2].lock);
+}
+
+// ----------------------------------------------------- Mode sharing ----
+
+TEST(AbstractLock, CompatibleModesShareTheLock) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{3, 0});
+  SpeculativeAction a(rt, 0, rt.next_birth());
+  SpeculativeAction b(rt, 1, rt.next_birth());
+  a.acquire(lock, LockMode::kRead);
+  b.acquire(lock, LockMode::kRead);  // Must not block.
+  EXPECT_EQ(lock.holder_count(), 2u);
+  (void)a.commit();
+  (void)b.commit();
+  EXPECT_EQ(lock.use_counter(), 2u);
+}
+
+TEST(AbstractLock, IncrementsShareTheLock) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{3, 1});
+  SpeculativeAction a(rt, 0, rt.next_birth());
+  SpeculativeAction b(rt, 1, rt.next_birth());
+  a.acquire(lock, LockMode::kIncrement);
+  b.acquire(lock, LockMode::kIncrement);
+  EXPECT_EQ(lock.holder_count(), 2u);
+  (void)a.commit();
+  (void)b.commit();
+}
+
+TEST(AbstractLock, WriterBlocksUntilReaderCommits) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{3, 2});
+  SpeculativeAction reader(rt, 0, rt.next_birth());
+  reader.acquire(lock, LockMode::kRead);
+
+  std::atomic<bool> writer_acquired{false};
+  std::jthread writer_thread([&rt, &lock, &writer_acquired] {
+    SpeculativeAction writer(rt, 1, rt.next_birth());
+    writer.acquire(lock, LockMode::kWrite);  // Blocks until the reader is done.
+    writer_acquired.store(true);
+    (void)writer.commit();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(writer_acquired.load());
+  (void)reader.commit();
+  writer_thread.join();
+  EXPECT_TRUE(writer_acquired.load());
+  EXPECT_EQ(lock.use_counter(), 2u);
+}
+
+TEST(AbstractLock, ConflictingHoldersGetOrderedCounters) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{3, 3});
+  LockProfile first;
+  LockProfile second;
+  {
+    SpeculativeAction a(rt, 0, rt.next_birth());
+    a.acquire(lock, LockMode::kWrite);
+    first = a.commit();
+  }
+  {
+    SpeculativeAction b(rt, 1, rt.next_birth());
+    b.acquire(lock, LockMode::kWrite);
+    second = b.commit();
+  }
+  EXPECT_LT(first.entries[0].counter, second.entries[0].counter);
+}
+
+// -------------------------------------------------- Nested actions -----
+
+TEST(NestedAction, CommitPassesLocksAndLogToParent) {
+  BoostingRuntime rt;
+  AbstractLock& parent_lock = rt.locks().get(LockId{4, 0});
+  AbstractLock& child_lock = rt.locks().get(LockId{4, 1});
+  std::vector<int> undone;
+
+  SpeculativeAction parent(rt, 0, rt.next_birth());
+  parent.acquire(parent_lock, LockMode::kWrite);
+  parent.log_inverse([&undone] { undone.push_back(1); });
+  {
+    SpeculativeAction child(parent);
+    child.acquire(child_lock, LockMode::kWrite);
+    child.log_inverse([&undone] { undone.push_back(2); });
+    child.commit_nested();
+  }
+  EXPECT_EQ(parent.held_lock_count(), 2u);
+  EXPECT_EQ(parent.undo_size(), 2u);
+  parent.abort();  // Undoes child's work too, child-last... child-first.
+  EXPECT_EQ(undone, (std::vector<int>{2, 1}));
+  EXPECT_EQ(child_lock.holder_count(), 0u);
+}
+
+TEST(NestedAction, AbortUndoesChildButParentRetainsItsLocks) {
+  BoostingRuntime rt;
+  AbstractLock& parent_lock = rt.locks().get(LockId{4, 2});
+  AbstractLock& child_lock = rt.locks().get(LockId{4, 3});
+  std::vector<int> undone;
+
+  SpeculativeAction parent(rt, 0, rt.next_birth());
+  parent.acquire(parent_lock, LockMode::kWrite);
+  parent.log_inverse([&undone] { undone.push_back(1); });
+  {
+    SpeculativeAction child(parent);
+    child.acquire(child_lock, LockMode::kWrite);
+    child.log_inverse([&undone] { undone.push_back(2); });
+    child.abort();
+  }
+  EXPECT_EQ(undone, (std::vector<int>{2}));   // Child's effects undone...
+  EXPECT_EQ(parent.held_lock_count(), 2u);    // ...but its lock transfers to
+  EXPECT_EQ(child_lock.holder_count(), 1u);   // the parent (closed nesting):
+  EXPECT_EQ(parent_lock.holder_count(), 1u);  // the child's observation stays
+                                              // in the lineage's footprint.
+  const LockProfile profile = parent.commit();
+  EXPECT_EQ(profile.entries.size(), 2u);
+  EXPECT_EQ(undone, (std::vector<int>{2}));   // Commit undoes nothing more.
+  EXPECT_EQ(child_lock.holder_count(), 0u);   // Released at root commit.
+}
+
+TEST(NestedAction, ChildInheritsParentLocks) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{4, 4});
+  SpeculativeAction parent(rt, 0, rt.next_birth());
+  parent.acquire(lock, LockMode::kWrite);
+  {
+    SpeculativeAction child(parent);
+    child.acquire(lock, LockMode::kWrite);  // Same lineage: no deadlock, no wait.
+    child.commit_nested();
+  }
+  EXPECT_EQ(parent.held_lock_count(), 1u);
+  (void)parent.commit();
+}
+
+TEST(NestedAction, GrandchildNesting) {
+  BoostingRuntime rt;
+  AbstractLock& lock = rt.locks().get(LockId{4, 5});
+  std::vector<int> undone;
+  SpeculativeAction parent(rt, 0, rt.next_birth());
+  {
+    SpeculativeAction child(parent);
+    child.log_inverse([&undone] { undone.push_back(1); });
+    {
+      SpeculativeAction grandchild(child);
+      grandchild.acquire(lock, LockMode::kWrite);
+      grandchild.log_inverse([&undone] { undone.push_back(2); });
+      grandchild.commit_nested();
+    }
+    EXPECT_EQ(child.held_lock_count(), 1u);
+    child.commit_nested();
+  }
+  EXPECT_EQ(parent.held_lock_count(), 1u);
+  EXPECT_EQ(parent.undo_size(), 2u);
+  (void)parent.commit();
+  EXPECT_TRUE(undone.empty());
+}
+
+// ------------------------------------------------- Deadlock handling ---
+
+TEST(Deadlock, TwoActionCycleIsResolved) {
+  BoostingRuntime rt;
+  AbstractLock& lock_a = rt.locks().get(LockId{5, 0});
+  AbstractLock& lock_b = rt.locks().get(LockId{5, 1});
+
+  std::barrier sync(2);
+  std::atomic<int> aborted{0};
+  std::atomic<int> committed{0};
+
+  const auto worker = [&](std::uint32_t tx, AbstractLock& first, AbstractLock& second) {
+    const std::uint64_t birth = rt.next_birth();
+    bool first_attempt = true;
+    for (;;) {
+      SpeculativeAction action(rt, tx, birth);
+      try {
+        action.acquire(first, LockMode::kWrite);
+        if (first_attempt) {
+          // Both workers hold their first lock before either requests the
+          // second — a guaranteed cycle on the first attempt.
+          first_attempt = false;
+          sync.arrive_and_wait();
+        }
+        action.acquire(second, LockMode::kWrite);
+        (void)action.commit();
+        committed.fetch_add(1);
+        return;
+      } catch (const ConflictAbort&) {
+        aborted.fetch_add(1);
+      }
+    }
+  };
+
+  std::jthread t1([&] { worker(0, lock_a, lock_b); });
+  std::jthread t2([&] { worker(1, lock_b, lock_a); });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(committed.load(), 2);
+  EXPECT_GE(aborted.load(), 1);
+  EXPECT_GE(rt.deadlocks().victims(), 1u);
+}
+
+TEST(Deadlock, VictimsAreYoungest) {
+  BoostingRuntime rt;
+  AbstractLock& lock_a = rt.locks().get(LockId{5, 2});
+  AbstractLock& lock_b = rt.locks().get(LockId{5, 3});
+
+  // Older action takes A then B; younger takes B then A. Exactly one
+  // aborts, and by policy it must be the younger (larger birth stamp).
+  SpeculativeAction older(rt, 0, rt.next_birth());
+  older.acquire(lock_a, LockMode::kWrite);
+
+  std::atomic<bool> younger_aborted{false};
+  std::jthread t([&] {
+    SpeculativeAction younger(rt, 1, rt.next_birth());
+    younger.acquire(lock_b, LockMode::kWrite);
+    try {
+      younger.acquire(lock_a, LockMode::kWrite);  // Blocks on older.
+      (void)younger.commit();
+    } catch (const ConflictAbort&) {
+      younger_aborted.store(true);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Older now closes the cycle; the detector should doom the younger.
+  older.acquire(lock_b, LockMode::kWrite);
+  (void)older.commit();
+  t.join();
+  EXPECT_TRUE(younger_aborted.load());
+}
+
+// ------------------------------------------------------------ UndoLog --
+
+TEST(UndoLog, TailReplay) {
+  UndoLog log;
+  std::vector<int> undone;
+  log.record([&undone] { undone.push_back(1); });
+  const std::size_t mark = log.mark();
+  log.record([&undone] { undone.push_back(2); });
+  log.record([&undone] { undone.push_back(3); });
+  log.replay_tail_and_discard(mark);
+  EXPECT_EQ(undone, (std::vector<int>{3, 2}));
+  EXPECT_EQ(log.size(), 1u);
+  log.replay_and_clear();
+  EXPECT_EQ(undone, (std::vector<int>{3, 2, 1}));
+  EXPECT_TRUE(log.empty());
+}
+
+// --------------------------------------------------------- LockTable ---
+
+TEST(LockTable, SameIdSameLock) {
+  LockTable table;
+  AbstractLock& a = table.get(LockId{1, 2});
+  AbstractLock& b = table.get(LockId{1, 2});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(LockTable, DistinctIdsDistinctLocks) {
+  LockTable table;
+  AbstractLock& a = table.get(LockId{1, 2});
+  AbstractLock& b = table.get(LockId{1, 3});
+  AbstractLock& c = table.get(LockId{2, 2});
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(LockTable, ResetClearsCounters) {
+  LockTable table;
+  (void)table.get(LockId{1, 2});
+  table.reset();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.get(LockId{1, 2}).use_counter(), 0u);
+}
+
+// ------------------------------------------- Parallel stress (smoke) ---
+
+TEST(StmStress, ManyThreadsDisjointLocksAllCommit) {
+  BoostingRuntime rt;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<int> commits{0};
+  std::vector<std::jthread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rt, &commits, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SpeculativeAction action(rt, static_cast<std::uint32_t>(t * kPerThread + i),
+                                 rt.next_birth());
+        action.acquire(rt.locks().get(LockId{7, static_cast<std::uint64_t>(t)}),
+                       LockMode::kWrite);
+        (void)action.commit();
+        commits.fetch_add(1);
+      }
+    });
+  }
+  threads.clear();  // Join.
+  EXPECT_EQ(commits.load(), kThreads * kPerThread);
+}
+
+TEST(StmStress, ContendedCounterRemainsConsistent) {
+  BoostingRuntime rt;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::int64_t shared_value = 0;  // Guarded by the abstract lock (WRITE mode).
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        for (;;) {
+          SpeculativeAction action(rt, 0, rt.next_birth());
+          try {
+            action.acquire(rt.locks().get(LockId{8, 8}), LockMode::kWrite);
+            ++shared_value;
+            action.log_inverse([&shared_value] { --shared_value; });
+            (void)action.commit();
+            break;
+          } catch (const ConflictAbort&) {
+          }
+        }
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(shared_value, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace concord::stm

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "contracts/ballot.hpp"
+#include "contracts/etherdoc.hpp"
+#include "contracts/simple_auction.hpp"
+#include "workload/workload.hpp"
+
+namespace concord::workload {
+namespace {
+
+// ------------------------------------------------------ Conflict math ---
+
+TEST(ConflictCount, ZeroPercentIsZero) {
+  EXPECT_EQ(conflicting_tx_count(200, 0), 0u);
+}
+
+TEST(ConflictCount, HundredPercentIsEverything) {
+  EXPECT_EQ(conflicting_tx_count(200, 100), 200u);
+}
+
+TEST(ConflictCount, RoundsUpToPairs) {
+  // 15% of 10 = 1.5 → 1 → rounded to 2 (a conflict needs a partner).
+  EXPECT_EQ(conflicting_tx_count(10, 15), 2u);
+  EXPECT_EQ(conflicting_tx_count(100, 15), 16u);  // 15 → 16.
+  EXPECT_EQ(conflicting_tx_count(200, 15), 30u);
+}
+
+TEST(ConflictCount, NeverExceedsTransactionCount) {
+  for (unsigned c : {0u, 15u, 50u, 99u, 100u}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{10}, std::size_t{401}}) {
+      EXPECT_LE(conflicting_tx_count(n, c), n) << n << " txs at " << c << "%";
+    }
+  }
+}
+
+// ---------------------------------------------------------- Fixtures ----
+
+TEST(Fixture, DeterministicForSameSpec) {
+  const WorkloadSpec spec{BenchmarkKind::kMixed, 120, 40, 99};
+  const Fixture a = make_fixture(spec);
+  const Fixture b = make_fixture(spec);
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.world->state_root(), b.world->state_root());
+}
+
+TEST(Fixture, SeedChangesOrderNotSemantics) {
+  WorkloadSpec spec{BenchmarkKind::kBallot, 100, 20, 1};
+  const Fixture a = make_fixture(spec);
+  spec.seed = 2;
+  const Fixture b = make_fixture(spec);
+  EXPECT_NE(a.transactions, b.transactions);          // Different shuffle.
+  EXPECT_EQ(a.world->state_root(), b.world->state_root());  // Same genesis.
+}
+
+TEST(Fixture, RequestedSizeIsHonored) {
+  for (const BenchmarkKind kind : kAllBenchmarks) {
+    for (const std::size_t n : {std::size_t{10}, std::size_t{33}, std::size_t{200}}) {
+      const Fixture fixture = make_fixture(WorkloadSpec{kind, n, 15, 42});
+      EXPECT_EQ(fixture.transactions.size(), n)
+          << to_string(kind) << " at " << n << " transactions";
+    }
+  }
+}
+
+TEST(Fixture, GenesisCommitsToInitialState) {
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kBallot, 50, 0, 42});
+  const chain::Block genesis = fixture.genesis();
+  EXPECT_EQ(genesis.header.number, 0u);
+  EXPECT_EQ(genesis.header.state_root, fixture.world->state_root());
+  EXPECT_TRUE(genesis.commitments_consistent());
+}
+
+TEST(BallotWorkload, DoubleVotersMatchConflictPercent) {
+  const std::size_t n = 100;
+  const unsigned conflict = 40;
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kBallot, n, conflict, 42});
+
+  // Count transactions per sender: conflicting voters appear twice.
+  std::map<vm::Address, int> per_sender;
+  for (const auto& tx : fixture.transactions) ++per_sender[tx.sender];
+  std::size_t doubled = 0;
+  for (const auto& [sender, count] : per_sender) {
+    EXPECT_LE(count, 2);
+    doubled += count == 2 ? 2 : 0;
+  }
+  EXPECT_EQ(doubled, conflicting_tx_count(n, conflict));
+}
+
+TEST(BallotWorkload, AllVotersRegisteredWithWeightOne) {
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kBallot, 60, 30, 42});
+  auto& ballot = fixture.world->contracts().as<contracts::Ballot>(fixture.ballot);
+  for (const auto& tx : fixture.transactions) {
+    EXPECT_EQ(ballot.raw_voter(tx.sender).weight, 1) << tx.sender.to_hex();
+  }
+}
+
+TEST(AuctionWorkload, SplitsWithdrawersAndBidders) {
+  const std::size_t n = 100;
+  const unsigned conflict = 30;
+  const Fixture fixture =
+      make_fixture(WorkloadSpec{BenchmarkKind::kSimpleAuction, n, conflict, 42});
+  std::size_t withdraws = 0;
+  std::size_t bid_plus_ones = 0;
+  for (const auto& tx : fixture.transactions) {
+    if (tx.selector == contracts::SimpleAuction::kWithdraw) ++withdraws;
+    if (tx.selector == contracts::SimpleAuction::kBidPlusOne) ++bid_plus_ones;
+  }
+  EXPECT_EQ(bid_plus_ones, conflicting_tx_count(n, conflict));
+  EXPECT_EQ(withdraws + bid_plus_ones, n);
+
+  // Every withdrawer has a seeded pending return to collect.
+  auto& auction = fixture.world->contracts().as<contracts::SimpleAuction>(fixture.auction);
+  for (const auto& tx : fixture.transactions) {
+    if (tx.selector == contracts::SimpleAuction::kWithdraw) {
+      EXPECT_GT(auction.raw_pending(tx.sender), 0);
+    }
+  }
+}
+
+TEST(AuctionWorkload, EscrowCoversLiabilities) {
+  const Fixture fixture =
+      make_fixture(WorkloadSpec{BenchmarkKind::kSimpleAuction, 80, 25, 42});
+  auto& auction = fixture.world->contracts().as<contracts::SimpleAuction>(fixture.auction);
+  vm::Amount liabilities = auction.raw_highest_bid();
+  for (const auto& tx : fixture.transactions) liabilities += auction.raw_pending(tx.sender);
+  EXPECT_GE(fixture.world->balances().raw_get(fixture.auction), liabilities);
+}
+
+TEST(EtherDocWorkload, TransfersTargetTheCreator) {
+  const std::size_t n = 90;
+  const unsigned conflict = 50;
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kEtherDoc, n, conflict, 42});
+  auto& etherdoc = fixture.world->contracts().as<contracts::EtherDoc>(fixture.etherdoc);
+
+  std::size_t transfers = 0;
+  for (const auto& tx : fixture.transactions) {
+    if (tx.selector == contracts::EtherDoc::kTransferOwnership) {
+      ++transfers;
+      util::ByteReader args(tx.args);
+      const std::uint64_t hashcode = args.get_varint();
+      EXPECT_TRUE(etherdoc.raw_exists(hashcode));
+      EXPECT_EQ(etherdoc.raw_document(hashcode).owner, tx.sender);  // Sender owns it.
+      vm::Address to;
+      const auto raw = args.get_raw(20);
+      std::copy(raw.begin(), raw.end(), to.bytes.begin());
+      EXPECT_EQ(to, etherdoc.creator());
+    }
+  }
+  EXPECT_EQ(transfers, conflicting_tx_count(n, conflict));
+}
+
+TEST(MixedWorkload, CombinesAllThreeContracts) {
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kMixed, 120, 30, 42});
+  std::size_t ballot = 0;
+  std::size_t auction = 0;
+  std::size_t etherdoc = 0;
+  for (const auto& tx : fixture.transactions) {
+    if (tx.contract == fixture.ballot) ++ballot;
+    if (tx.contract == fixture.auction) ++auction;
+    if (tx.contract == fixture.etherdoc) ++etherdoc;
+  }
+  EXPECT_EQ(ballot + auction + etherdoc, 120u);
+  // "Equal proportions", remainder going to the first benchmark.
+  EXPECT_EQ(auction, 40u);
+  EXPECT_EQ(etherdoc, 40u);
+  EXPECT_EQ(ballot, 40u);
+}
+
+TEST(MixedWorkload, HandlesNonDivisibleSizes) {
+  const Fixture fixture = make_fixture(WorkloadSpec{BenchmarkKind::kMixed, 100, 15, 42});
+  EXPECT_EQ(fixture.transactions.size(), 100u);
+}
+
+TEST(Workload, ZeroTransactionsIsValid) {
+  for (const BenchmarkKind kind : kAllBenchmarks) {
+    const Fixture fixture = make_fixture(WorkloadSpec{kind, 0, 50, 42});
+    EXPECT_TRUE(fixture.transactions.empty());
+    EXPECT_FALSE(fixture.genesis().header.state_root.is_zero());
+  }
+}
+
+TEST(Workload, NamesAreStable) {
+  EXPECT_EQ(to_string(BenchmarkKind::kBallot), "Ballot");
+  EXPECT_EQ(to_string(BenchmarkKind::kSimpleAuction), "SimpleAuction");
+  EXPECT_EQ(to_string(BenchmarkKind::kEtherDoc), "EtherDoc");
+  EXPECT_EQ(to_string(BenchmarkKind::kMixed), "Mixed");
+}
+
+}  // namespace
+}  // namespace concord::workload
