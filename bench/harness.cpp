@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 
 namespace concord::bench {
@@ -31,6 +33,60 @@ bool parse_flag_double(std::string_view arg, std::string_view name, double& out)
   return true;
 }
 
+/// Process-wide sink mirroring every measure_point() into a JSON array so
+/// bench/run_all.sh can collect machine-readable results without each
+/// bench main threading a writer through. The closing bracket is written
+/// by the function-local static's destructor at normal process exit, so a
+/// bench that opens the sink but measures no points still leaves valid
+/// JSON.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void open(const std::string& path) {
+    out_.open(path, std::ios::trunc);
+    if (out_.is_open()) {
+      out_ << "[";
+    } else {
+      std::fprintf(stderr, "warning: --json: cannot open '%s'; JSON output disabled\n",
+                   path.c_str());
+    }
+  }
+
+  void write(const PointResult& point) {
+    if (!out_.is_open()) return;
+    out_ << (first_ ? "\n" : ",\n") << "  {"
+         << "\"benchmark\": \"" << workload::to_string(point.spec.kind) << "\""
+         << ", \"transactions\": " << point.spec.transactions
+         << ", \"conflict_percent\": " << point.spec.conflict_percent
+         << ", \"serial_ms\": " << point.serial.mean_ms
+         << ", \"serial_stddev_ms\": " << point.serial.stddev_ms
+         << ", \"miner_ms\": " << point.miner.mean_ms
+         << ", \"miner_stddev_ms\": " << point.miner.stddev_ms
+         << ", \"validator_ms\": " << point.validator.mean_ms
+         << ", \"validator_stddev_ms\": " << point.validator.stddev_ms
+         << ", \"miner_speedup\": " << point.miner_speedup()
+         << ", \"validator_speedup\": " << point.validator_speedup()
+         << ", \"conflict_aborts\": " << point.mining_stats.conflict_aborts
+         << ", \"critical_path\": " << point.schedule.critical_path
+         << ", \"parallelism\": " << point.schedule.parallelism
+         << ", \"schedule_bytes\": " << point.mining_stats.schedule_bytes << "}";
+    out_.flush();
+    first_ = false;
+  }
+
+  ~JsonSink() {
+    if (out_.is_open()) out_ << "\n]\n";
+  }
+
+ private:
+  std::ofstream out_;
+  bool first_ = true;
+};
+
 }  // namespace
 
 RunConfig RunConfig::from_args(int argc, char** argv) {
@@ -53,6 +109,8 @@ RunConfig RunConfig::from_args(int argc, char** argv) {
       config.nanos_per_gas = dvalue;
     } else if (arg == "--exclusive-locks") {
       config.exclusive_locks_only = true;
+    } else if (arg.starts_with("--json=")) {
+      JsonSink::instance().open(std::string(arg.substr(7)));
     }
   }
   return config;
@@ -127,6 +185,7 @@ PointResult measure_point(const workload::WorkloadSpec& spec, const RunConfig& c
     point.validator = util::summarize_ms(runs);
   }
 
+  JsonSink::instance().write(point);
   return point;
 }
 

@@ -27,8 +27,10 @@ struct RunConfig {
   bool quick = false;
 
   /// Parses --quick (1 warmup / 3 samples, thinner axes), --samples=N,
-  /// --warmups=N, --threads=N, --nanos-per-gas=X from argv. Unknown flags
-  /// are ignored so binaries can layer their own.
+  /// --warmups=N, --threads=N, --nanos-per-gas=X, and --json=FILE (mirror
+  /// every measured point into FILE as a JSON array, for the perf
+  /// trajectory — see bench/run_all.sh) from argv. Unknown flags are
+  /// ignored so binaries can layer their own.
   static RunConfig from_args(int argc, char** argv);
 };
 
@@ -53,7 +55,8 @@ struct PointResult {
 /// workload point, each from a freshly-rebuilt fixture per run. Verifies
 /// on every validator sample that the block is accepted (a benchmark that
 /// silently measured rejected blocks would be meaningless) and aborts via
-/// exception otherwise.
+/// exception otherwise. Every measured point is also mirrored into the
+/// JSON sink when --json=FILE was passed.
 [[nodiscard]] PointResult measure_point(const workload::WorkloadSpec& spec,
                                         const RunConfig& config);
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds a Release-flavored preset and runs every bench, writing per-bench
+# JSON into bench_results/ for the perf trajectory (plus the raw table
+# output as .log). Defaults to --quick so a full sweep stays CI-sized;
+# pass --full for the paper's full axes.
+#
+# usage: bench/run_all.sh [--full] [--preset=NAME] [--out=DIR]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="--quick"
+PRESET="release"
+OUT_DIR="bench_results"
+for arg in "$@"; do
+  case "$arg" in
+    --full) QUICK="" ;;
+    --preset=*) PRESET="${arg#--preset=}" ;;
+    --out=*) OUT_DIR="${arg#--out=}" ;;
+    *) echo "usage: $0 [--full] [--preset=NAME] [--out=DIR]" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET"
+mkdir -p "$OUT_DIR"
+
+# Glob the built binaries so the CMake target list stays the single source
+# of truth — a bench added there is picked up here automatically.
+BIN_DIR="build-$PRESET/bench"
+for bin in "$BIN_DIR"/bench_*; do
+  [[ -f "$bin" && -x "$bin" ]] || continue
+  bench="$(basename "$bin")"
+  [[ "$bench" == bench_stm_micro ]] && continue  # google-benchmark CLI, below
+  echo "=== $bench"
+  "$bin" $QUICK --json="$OUT_DIR/$bench.json" | tee "$OUT_DIR/$bench.log"
+  # Benches with bespoke measurement loops never feed the harness JSON
+  # sink; flag the empty array so a trajectory consumer isn't surprised.
+  if ! grep -q '{' "$OUT_DIR/$bench.json"; then
+    echo "note: $bench emits no point JSON (custom output); use $bench.log"
+  fi
+done
+
+# google-benchmark target; absent when the library isn't installed.
+if [[ -x "$BIN_DIR/bench_stm_micro" ]]; then
+  echo "=== bench_stm_micro"
+  "$BIN_DIR/bench_stm_micro" --benchmark_format=json > "$OUT_DIR/bench_stm_micro.json"
+fi
+
+echo "JSON results in $OUT_DIR/"

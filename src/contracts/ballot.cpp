@@ -22,7 +22,7 @@ Ballot::Ballot(vm::Address address, vm::Address chairperson,
       voters_(field_space("voters")),
       vote_counts_(field_space("voteCounts")) {
   if (names_.empty()) throw vm::BadCall("Ballot needs at least one proposal");
-  voters_.raw_put(chairperson_, Voter{.weight = 1});
+  voters_.raw_put(chairperson_, Voter{.weight = 1, .voted = false, .delegate_to = {}, .vote = 0});
 }
 
 void Ballot::execute(const vm::Call& call, vm::ExecContext& ctx) {
@@ -129,7 +129,7 @@ std::string Ballot::winner_name(vm::ExecContext& ctx) const {
 }
 
 void Ballot::raw_register_voter(const vm::Address& voter, std::int64_t weight) {
-  voters_.raw_put(voter, Voter{.weight = weight});
+  voters_.raw_put(voter, Voter{.weight = weight, .voted = false, .delegate_to = {}, .vote = 0});
 }
 
 Ballot::Voter Ballot::raw_voter(const vm::Address& voter) const {

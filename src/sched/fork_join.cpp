@@ -22,6 +22,14 @@ ForkJoinPool::~ForkJoinPool() {
     ++epoch_;
   }
   epoch_cv_.notify_all();
+  // Join the workers here, in the destructor body, NOT via member
+  // destruction: `workers_` is declared before `mu_` / `epoch_cv_` /
+  // `parked_cv_`, so implicit member destruction would tear down those
+  // sync primitives first and only then join — letting a still-exiting
+  // worker call parked_cv_.notify_all() / epoch_cv_.wait() on destroyed
+  // objects (TSan: pthread_cond_destroy races notify). Every worker must
+  // be fully joined before any sync primitive dies.
+  workers_.clear();
 }
 
 void ForkJoinPool::run_dag(std::size_t n,

@@ -69,6 +69,11 @@ class ForkJoinPool {
   [[nodiscard]] std::optional<std::uint32_t> find_work(unsigned self);
 
   std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
+  /// Ordering constraint: workers_ is joined explicitly in the destructor
+  /// body (workers_.clear()) because the sync primitives below are
+  /// declared after it — implicit member destruction would destroy them
+  /// before the jthreads join, racing a worker's final notify/wait
+  /// against pthread_cond_destroy.
   std::vector<std::jthread> workers_;
 
   std::mutex mu_;

@@ -229,6 +229,28 @@ TEST(ForkJoin, RootlessGraphThrows) {
                std::invalid_argument);
 }
 
+TEST(ForkJoin, ShutdownStress) {
+  // Guards the destructor ordering fix: workers must be joined in the
+  // destructor body before mu_/epoch_cv_/parked_cv_ are destroyed.
+  // Construct, (sometimes) run a small DAG, and destroy in a tight loop so
+  // the TSan lane catches any worker still touching a sync primitive while
+  // the pool dies. Odd iterations destroy immediately after construction —
+  // the tightest window, with workers still starting up.
+  constexpr int kIterations = 120;
+  constexpr std::size_t n = 8;
+  std::vector<std::vector<std::uint32_t>> preds(n);
+  for (std::uint32_t i = 1; i < n; ++i) preds[i] = {i - 1};
+  const auto succs = invert(preds, n);
+  for (int iter = 0; iter < kIterations; ++iter) {
+    ForkJoinPool pool(4);
+    if (iter % 2 == 0) {
+      std::atomic<int> count{0};
+      pool.run_dag(n, preds, succs, [&](std::uint32_t) { count.fetch_add(1); });
+      EXPECT_EQ(count.load(), static_cast<int>(n));
+    }
+  }
+}
+
 TEST(ForkJoin, SingleWorkerStillCompletesDag) {
   ForkJoinPool pool(1);
   constexpr std::size_t n = 64;

@@ -248,8 +248,12 @@ TEST(CycleBurner, BurnMicrosecondsTakesRoughlyThatLong) {
   volatile std::uint64_t sink = burn_microseconds(2000);
   (void)sink;
   const double elapsed_us = std::chrono::duration<double, std::micro>(Clock::now() - start).count();
-  EXPECT_GT(elapsed_us, 500.0);    // At least a quarter of the target.
-  EXPECT_LT(elapsed_us, 20'000.0); // Not wildly more.
+  EXPECT_GT(elapsed_us, 500.0);     // At least a quarter of the target.
+  // Generous upper bound: under `ctest -j` the burner contends with other
+  // test binaries for cores (and sanitizer builds slow it further), so a
+  // tight cap flakes in CI. Still catches a burner that's off by orders of
+  // magnitude.
+  EXPECT_LT(elapsed_us, 200'000.0);
 }
 
 }  // namespace
