@@ -1,0 +1,157 @@
+// Sustained node throughput: a stream of blocks through the full
+// mempool → miner → validator pipeline, pipelined (validation of block N
+// overlapped with mining of block N+1) versus the unpipelined
+// mine-then-validate baseline on the identical transaction stream. This
+// is the regime the one-shot figure benches can't see — and the regime
+// follow-on frameworks (OptSmart et al.) evaluate.
+//
+// Usage: bench_node_throughput [--quick] [--samples=N] [--threads=N]
+//                              [--blocks=N] [--block-txs=N] [--json=FILE] ...
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "node/node.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace concord;
+
+struct ModeResult {
+  util::TimingSummary wall;
+  node::NodeStats last;  ///< Stats of the last sample run.
+
+  [[nodiscard]] double tx_per_sec() const {
+    return wall.mean_ms > 0 ? static_cast<double>(last.transactions) * 1e3 / wall.mean_ms : 0.0;
+  }
+};
+
+/// One full stream run: two worlds born from the same spec, a producer
+/// thread feeding the mempool, the node driving both stages to drain.
+node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunConfig& config,
+                           bool pipelined) {
+  workload::Fixture miner_side = workload::make_stream_fixture(spec);
+  workload::Fixture validator_side = workload::make_stream_fixture(spec);
+  std::vector<chain::Transaction> stream = std::move(miner_side.transactions);
+
+  node::NodeConfig node_config;
+  node_config.miner.threads = config.threads;
+  node_config.miner.nanos_per_gas = config.nanos_per_gas;
+  node_config.miner.exclusive_locks_only = config.exclusive_locks_only;
+  node_config.validator.threads = config.threads;
+  node_config.validator.nanos_per_gas = config.nanos_per_gas;
+  node_config.validator.exclusive_locks_only = config.exclusive_locks_only;
+  node_config.batch.target_txs = spec.txs_per_block;
+  node_config.mempool_capacity = 4 * spec.txs_per_block;  // Realistic backpressure.
+  node_config.pipelined = pipelined;
+  node_config.mining = node::MiningMode::kSpeculative;
+
+  node::Node node(std::move(miner_side.world), std::move(validator_side.world), node_config);
+  std::jthread producer([&node, &stream] {
+    (void)node.mempool().submit_many(std::move(stream));
+    node.mempool().close();
+  });
+  node.run();
+  if (!node.ok()) {
+    throw std::runtime_error(std::string("node rejected a block: ") +
+                             std::string(core::to_string(node.failure().reason)) + " — " +
+                             node.failure().detail);
+  }
+  return node.stats();
+}
+
+ModeResult measure_mode(const workload::StreamSpec& spec, const bench::RunConfig& config,
+                        bool pipelined) {
+  ModeResult result;
+  std::vector<double> runs;
+  for (int r = 0; r < config.warmups + config.samples; ++r) {
+    const node::NodeStats stats = run_stream(spec, config, pipelined);
+    if (r >= config.warmups) runs.push_back(stats.wall_ms);
+    result.last = stats;
+  }
+  result.wall = util::summarize_ms(runs);
+  return result;
+}
+
+void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pipelined,
+               double overlap_speedup) {
+  std::ostringstream object;
+  object << "{\"benchmark\": \"NodeStream/" << workload::to_string(spec.kind) << "\""
+         << ", \"blocks\": " << mode.last.blocks
+         << ", \"txs_per_block\": " << spec.txs_per_block
+         << ", \"transactions\": " << mode.last.transactions
+         << ", \"conflict_percent\": " << spec.conflict_percent
+         << ", \"pipelined\": " << (pipelined ? "true" : "false")
+         << ", \"wall_ms\": " << mode.wall.mean_ms
+         << ", \"wall_stddev_ms\": " << mode.wall.stddev_ms
+         << ", \"sustained_tx_per_sec\": " << mode.tx_per_sec()
+         << ", \"blocks_per_sec\": " << mode.last.blocks_per_sec()
+         << ", \"mine_ms\": " << mode.last.mine_ms
+         << ", \"validate_ms\": " << mode.last.validate_ms
+         << ", \"mempool_wait_ms\": " << mode.last.mempool_wait_ms
+         << ", \"handoff_wait_ms\": " << mode.last.handoff_wait_ms
+         << ", \"validator_stall_ms\": " << mode.last.validator_stall_ms
+         << ", \"conflict_aborts\": " << mode.last.conflict_aborts
+         << ", \"lock_table_high_water\": " << mode.last.lock_table_high_water
+         << ", \"overlap_speedup\": " << overlap_speedup << "}";
+  bench::write_json_object(object.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+
+  workload::StreamSpec base;
+  base.blocks = config.quick ? 8 : 20;
+  base.txs_per_block = config.quick ? 50 : 150;
+  base.conflict_percent = 15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--blocks=")) base.blocks = std::strtoul(arg.data() + 9, nullptr, 10);
+    if (arg.starts_with("--block-txs=")) {
+      base.txs_per_block = std::strtoul(arg.data() + 12, nullptr, 10);
+    }
+  }
+
+  std::printf(
+      "Node pipeline throughput: %zu blocks x %zu txs, 15%% conflict, %u threads/stage\n",
+      base.blocks, base.txs_per_block, config.threads);
+  if (const unsigned hw = std::thread::hardware_concurrency(); hw < 2 * config.threads) {
+    std::printf(
+        "note: %u hardware thread(s) for two %u-thread stages — both stages are CPU-bound,\n"
+        "      so pipeline overlap can only beat the sequential baseline on parallel hardware\n",
+        hw, config.threads);
+  }
+  std::printf("# %-14s %10s %14s %14s %9s %12s %12s %12s\n", "benchmark", "blocks",
+              "seq_tx/s", "pipe_tx/s", "overlap", "mine_ms", "validate_ms", "stall_ms");
+
+  for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
+    workload::StreamSpec spec = base;
+    spec.kind = kind;
+
+    const ModeResult sequential = measure_mode(spec, config, /*pipelined=*/false);
+    const ModeResult pipelined = measure_mode(spec, config, /*pipelined=*/true);
+    const double overlap =
+        pipelined.wall.mean_ms > 0 ? sequential.wall.mean_ms / pipelined.wall.mean_ms : 0.0;
+
+    std::printf("%-16s %10llu %14.0f %14.0f %8.2fx %12.1f %12.1f %12.1f\n",
+                std::string(workload::to_string(kind)).c_str(),
+                static_cast<unsigned long long>(pipelined.last.blocks), sequential.tx_per_sec(),
+                pipelined.tx_per_sec(), overlap, pipelined.last.mine_ms,
+                pipelined.last.validate_ms,
+                pipelined.last.handoff_wait_ms + pipelined.last.validator_stall_ms);
+    std::fflush(stdout);
+
+    emit_json(spec, sequential, /*pipelined=*/false, 1.0);
+    emit_json(spec, pipelined, /*pipelined=*/true, overlap);
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -57,23 +58,30 @@ class JsonSink {
   }
 
   void write(const PointResult& point) {
+    std::ostringstream object;
+    object << "{"
+           << "\"benchmark\": \"" << workload::to_string(point.spec.kind) << "\""
+           << ", \"transactions\": " << point.spec.transactions
+           << ", \"conflict_percent\": " << point.spec.conflict_percent
+           << ", \"serial_ms\": " << point.serial.mean_ms
+           << ", \"serial_stddev_ms\": " << point.serial.stddev_ms
+           << ", \"miner_ms\": " << point.miner.mean_ms
+           << ", \"miner_stddev_ms\": " << point.miner.stddev_ms
+           << ", \"validator_ms\": " << point.validator.mean_ms
+           << ", \"validator_stddev_ms\": " << point.validator.stddev_ms
+           << ", \"miner_speedup\": " << point.miner_speedup()
+           << ", \"validator_speedup\": " << point.validator_speedup()
+           << ", \"sustained_tx_per_sec\": " << point.sustained_tx_per_sec()
+           << ", \"conflict_aborts\": " << point.mining_stats.conflict_aborts
+           << ", \"critical_path\": " << point.schedule.critical_path
+           << ", \"parallelism\": " << point.schedule.parallelism
+           << ", \"schedule_bytes\": " << point.mining_stats.schedule_bytes << "}";
+    write_raw(object.str());
+  }
+
+  void write_raw(const std::string& object) {
     if (!out_.is_open()) return;
-    out_ << (first_ ? "\n" : ",\n") << "  {"
-         << "\"benchmark\": \"" << workload::to_string(point.spec.kind) << "\""
-         << ", \"transactions\": " << point.spec.transactions
-         << ", \"conflict_percent\": " << point.spec.conflict_percent
-         << ", \"serial_ms\": " << point.serial.mean_ms
-         << ", \"serial_stddev_ms\": " << point.serial.stddev_ms
-         << ", \"miner_ms\": " << point.miner.mean_ms
-         << ", \"miner_stddev_ms\": " << point.miner.stddev_ms
-         << ", \"validator_ms\": " << point.validator.mean_ms
-         << ", \"validator_stddev_ms\": " << point.validator.stddev_ms
-         << ", \"miner_speedup\": " << point.miner_speedup()
-         << ", \"validator_speedup\": " << point.validator_speedup()
-         << ", \"conflict_aborts\": " << point.mining_stats.conflict_aborts
-         << ", \"critical_path\": " << point.schedule.critical_path
-         << ", \"parallelism\": " << point.schedule.parallelism
-         << ", \"schedule_bytes\": " << point.mining_stats.schedule_bytes << "}";
+    out_ << (first_ ? "\n" : ",\n") << "  " << object;
     out_.flush();
     first_ = false;
   }
@@ -88,6 +96,8 @@ class JsonSink {
 };
 
 }  // namespace
+
+void write_json_object(const std::string& object) { JsonSink::instance().write_raw(object); }
 
 RunConfig RunConfig::from_args(int argc, char** argv) {
   RunConfig config;

@@ -49,6 +49,14 @@ struct PointResult {
   [[nodiscard]] double validator_speedup() const {
     return validator.mean_ms > 0 ? serial.mean_ms / validator.mean_ms : 0.0;
   }
+  /// Sustained throughput: every transaction both mined *and* validated
+  /// over wall time (mine + validate back-to-back) — the number an
+  /// unpipelined node would sustain on this workload, and the key shared
+  /// with bench_node_throughput's JSON so all benches report comparably.
+  [[nodiscard]] double sustained_tx_per_sec() const {
+    const double total_ms = miner.mean_ms + validator.mean_ms;
+    return total_ms > 0 ? static_cast<double>(spec.transactions) * 1e3 / total_ms : 0.0;
+  }
 };
 
 /// Times serial baseline, parallel miner and parallel validator for one
@@ -59,6 +67,13 @@ struct PointResult {
 /// JSON sink when --json=FILE was passed.
 [[nodiscard]] PointResult measure_point(const workload::WorkloadSpec& spec,
                                         const RunConfig& config);
+
+/// Mirrors one pre-formatted JSON object (braces included) into the
+/// --json sink alongside the measure_point() records. For benches whose
+/// measurement loop doesn't fit PointResult (bench_node_throughput's
+/// sustained pipeline runs); no-op when --json wasn't passed. Objects
+/// should carry the shared "sustained_tx_per_sec" key where applicable.
+void write_json_object(const std::string& object);
 
 /// The paper's sweep axes.
 [[nodiscard]] std::vector<std::size_t> blocksize_axis(bool quick);

@@ -1,0 +1,51 @@
+#include "core/execution_engine.hpp"
+
+#include <stdexcept>
+
+#include "core/execution.hpp"
+#include "stm/conflict.hpp"
+#include "stm/speculative_action.hpp"
+#include "vm/exec_context.hpp"
+
+namespace concord::core {
+
+vm::TxStatus ExecutionEngine::execute_serial(const chain::Transaction& tx) {
+  vm::ExecContext ctx = vm::ExecContext::serial(*world_, meter_for(tx));
+  ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+  return execute_transaction(*world_, tx, ctx);
+}
+
+vm::TxStatus ExecutionEngine::execute_traced(const chain::Transaction& tx,
+                                             vm::TraceRecorder& trace) {
+  vm::ExecContext ctx = vm::ExecContext::replay(*world_, trace, meter_for(tx));
+  ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+  return execute_transaction(*world_, tx, ctx);
+}
+
+SpeculativeOutcome ExecutionEngine::execute_speculative(stm::BoostingRuntime& runtime,
+                                                        std::uint32_t tx_index,
+                                                        const chain::Transaction& tx,
+                                                        std::size_t max_attempts) {
+  SpeculativeOutcome outcome;
+  const std::uint64_t birth = runtime.next_birth();
+  for (std::size_t attempt = 1;; ++attempt) {
+    ++outcome.attempts;
+    stm::SpeculativeAction action(runtime, tx_index, birth);
+    vm::ExecContext ctx = vm::ExecContext::speculative(*world_, runtime, action, meter_for(tx));
+    ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+    try {
+      outcome.status = execute_transaction(*world_, tx, ctx);
+      outcome.profile = action.commit(/*reverted=*/outcome.status != vm::TxStatus::kSuccess);
+      return outcome;
+    } catch (const stm::ConflictAbort&) {
+      // The action's destructor already undid its effects and released its
+      // locks; re-execute with the same birth stamp (see doc comment).
+      ++outcome.aborts;
+      if (attempt >= max_attempts) {
+        throw std::runtime_error("speculative retry budget exhausted (livelock?)");
+      }
+    }
+  }
+}
+
+}  // namespace concord::core

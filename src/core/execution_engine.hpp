@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chain/transaction.hpp"
+#include "stm/lock_profile.hpp"
+#include "stm/runtime.hpp"
+#include "vm/gas.hpp"
+#include "vm/runner.hpp"
+#include "vm/trace.hpp"
+#include "vm/world.hpp"
+
+namespace concord::core {
+
+/// Execution knobs shared by everything that runs transactions — the
+/// miner, the validator and the node pipeline all derive their engine
+/// from the same two values, which is what guarantees a block mined on
+/// one side replays identically on the other.
+struct ExecutionConfig {
+  /// Wall-clock weight of gas (see vm::GasMeter); benches override this
+  /// to scale per-transaction work.
+  double nanos_per_gas = vm::GasMeter::kDefaultNanosPerGas;
+  /// Ablation: strictly-exclusive abstract locks (no READ/INCREMENT
+  /// sharing). Mining and validation must agree on this flag, since it
+  /// changes published profiles. See bench_ablation_modes.
+  bool exclusive_locks_only = false;
+};
+
+/// Outcome of running one transaction speculatively to completion,
+/// including the retries its conflict aborts cost.
+struct SpeculativeOutcome {
+  stm::LockProfile profile;
+  vm::TxStatus status = vm::TxStatus::kSuccess;
+  std::uint64_t attempts = 0;  ///< Total attempts, including the final one.
+  std::uint64_t aborts = 0;    ///< Attempts that rolled back and retried.
+};
+
+/// The execute side shared by Miner and Validator: world access, gas
+/// metering, ExecContext construction and per-mode status collection live
+/// here exactly once. The miner layers speculation bookkeeping (thread
+/// pool, happens-before assembly) on top; the validator layers the
+/// compare side (trace/profile equivalence, root checks); the node
+/// pipeline builds both stages from one config.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(vm::World& world, ExecutionConfig config = {}) noexcept
+      : world_(&world), config_(config) {}
+
+  [[nodiscard]] vm::World& world() const noexcept { return *world_; }
+  [[nodiscard]] const ExecutionConfig& config() const noexcept { return config_; }
+
+  /// Plain serial execution: storage ops go straight to data, no capture.
+  /// The paper's §7 baseline and the serial validator's replay mode.
+  vm::TxStatus execute_serial(const chain::Transaction& tx);
+
+  /// Deterministic replay: no locks, no conflict detection, but `trace`
+  /// records the abstract locks the transaction *would* have acquired
+  /// (paper §4). Used by the parallel validator and the serial miner.
+  vm::TxStatus execute_traced(const chain::Transaction& tx, vm::TraceRecorder& trace);
+
+  /// Speculative execution with the paper's retry loop (§3): acquire
+  /// abstract locks through `runtime`, and on ConflictAbort re-execute
+  /// with the same birth stamp so repeated victims age into deadlock
+  /// immunity. Throws when `max_attempts` is exhausted (livelock guard).
+  /// Safe to call concurrently from pool threads — all mutable state is
+  /// per-call.
+  SpeculativeOutcome execute_speculative(stm::BoostingRuntime& runtime, std::uint32_t tx_index,
+                                         const chain::Transaction& tx,
+                                         std::size_t max_attempts);
+
+ private:
+  [[nodiscard]] vm::GasMeter meter_for(const chain::Transaction& tx) const noexcept {
+    return vm::GasMeter(tx.gas_limit, config_.nanos_per_gas);
+  }
+
+  vm::World* world_;
+  ExecutionConfig config_;
+};
+
+}  // namespace concord::core

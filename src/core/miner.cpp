@@ -4,15 +4,13 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "core/execution.hpp"
 #include "graph/happens_before.hpp"
-#include "stm/conflict.hpp"
 #include "vm/trace.hpp"
 
 namespace concord::core {
 
 Miner::Miner(vm::World& world, MinerConfig config)
-    : world_(world), config_(config), pool_(config.threads) {}
+    : config_(config), engine_(world, config.engine()), pool_(config.threads) {}
 
 chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain::Block& parent) {
   const auto n = static_cast<std::uint32_t>(txs.size());
@@ -33,28 +31,12 @@ chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain
     pool_.submit([this, i, &txs, &profiles, &statuses, &attempts, &aborts] {
       // Pool tasks must not throw: capture harness failures for rethrow.
       try {
-        const std::uint64_t birth = runtime_.next_birth();
-        for (std::size_t attempt = 1;; ++attempt) {
-          attempts.fetch_add(1, std::memory_order_relaxed);
-          stm::SpeculativeAction action(runtime_, i, birth);
-          vm::ExecContext ctx = vm::ExecContext::speculative(
-              world_, runtime_, action, vm::GasMeter(txs[i].gas_limit, config_.nanos_per_gas));
-          ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
-          try {
-            const vm::TxStatus status = execute_transaction(world_, txs[i], ctx);
-            profiles[i] = action.commit(/*reverted=*/status != vm::TxStatus::kSuccess);
-            statuses[i] = status;
-            return;
-          } catch (const stm::ConflictAbort&) {
-            // The action's destructor already undid its effects and
-            // released its locks; re-execute with the same birth stamp so
-            // repeated victims age into deadlock immunity.
-            aborts.fetch_add(1, std::memory_order_relaxed);
-            if (attempt >= config_.max_attempts) {
-              throw std::runtime_error("speculative retry budget exhausted (livelock?)");
-            }
-          }
-        }
+        SpeculativeOutcome outcome =
+            engine_.execute_speculative(runtime_, i, txs[i], config_.max_attempts);
+        profiles[i] = std::move(outcome.profile);
+        statuses[i] = outcome.status;
+        attempts.fetch_add(outcome.attempts, std::memory_order_relaxed);
+        aborts.fetch_add(outcome.aborts, std::memory_order_relaxed);
       } catch (const std::exception& e) {
         std::scoped_lock lk(error_mu_);
         if (worker_error_.empty()) worker_error_ = e.what();
@@ -71,6 +53,8 @@ chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain
   stats_.attempts = attempts.load(std::memory_order_relaxed);
   stats_.conflict_aborts = aborts.load(std::memory_order_relaxed);
   stats_.deadlock_victims = runtime_.deadlocks().victims();
+  stats_.lock_table_size = runtime_.locks().size();
+  stats_.lock_table_high_water = runtime_.locks().high_water();
   return assemble(txs, std::move(statuses), std::move(profiles), parent);
 }
 
@@ -89,10 +73,7 @@ chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
 
   for (std::uint32_t i = 0; i < n; ++i) {
     vm::TraceRecorder trace;
-    vm::ExecContext ctx = vm::ExecContext::replay(
-        world_, trace, vm::GasMeter(txs[i].gas_limit, config_.nanos_per_gas));
-    ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
-    statuses[i] = execute_transaction(world_, txs[i], ctx);
+    statuses[i] = engine_.execute_traced(txs[i], trace);
 
     stm::LockProfile& profile = profiles[i];
     profile.tx = i;
@@ -109,9 +90,7 @@ std::vector<vm::TxStatus> Miner::execute_serial_baseline(
   std::vector<vm::TxStatus> statuses;
   statuses.reserve(txs.size());
   for (const auto& tx : txs) {
-    vm::ExecContext ctx =
-        vm::ExecContext::serial(world_, vm::GasMeter(tx.gas_limit, config_.nanos_per_gas));
-    statuses.push_back(execute_transaction(world_, tx, ctx));
+    statuses.push_back(engine_.execute_serial(tx));
   }
   return statuses;
 }
@@ -137,7 +116,7 @@ chain::Block Miner::assemble(const std::vector<chain::Transaction>& txs,
 
   block.header.number = parent.header.number + 1;
   block.header.parent_hash = parent.hash();
-  block.header.state_root = world_.state_root();
+  block.header.state_root = engine_.world().state_root();
   block.header.tx_root = block.compute_tx_root();
   block.header.status_root = block.compute_status_root();
   block.header.schedule_hash = block.schedule.hash();

@@ -5,6 +5,7 @@
 
 #include "chain/block.hpp"
 #include "chain/transaction.hpp"
+#include "core/execution_engine.hpp"
 #include "sched/thread_pool.hpp"
 #include "stm/runtime.hpp"
 #include "vm/gas.hpp"
@@ -29,6 +30,12 @@ struct MinerConfig {
   /// sharing). Blocks mined this way must be validated with the same
   /// setting. See bench_ablation_modes.
   bool exclusive_locks_only = false;
+
+  /// The execution-side subset, shared verbatim with the Validator so
+  /// both stages run on the same ExecutionEngine semantics.
+  [[nodiscard]] ExecutionConfig engine() const noexcept {
+    return ExecutionConfig{nanos_per_gas, exclusive_locks_only};
+  }
 };
 
 /// Counters describing one mining run.
@@ -38,6 +45,11 @@ struct MinerStats {
   std::uint64_t conflict_aborts = 0;   ///< Attempts that rolled back and retried.
   std::uint64_t deadlock_victims = 0;  ///< Aborts initiated by the deadlock detector.
   std::size_t schedule_bytes = 0;      ///< Serialized size of the published schedule.
+  /// Lock-table working set at end of this block's mining. The recycling
+  /// LockTable::reset() retains nodes across blocks, so this is the
+  /// cumulative retained set, not just the locks this block touched.
+  std::size_t lock_table_size = 0;
+  std::size_t lock_table_high_water = 0;  ///< Max table size over the miner's lifetime.
 };
 
 /// The paper's miner. mine() implements Algorithm 1: execute the block's
@@ -74,11 +86,6 @@ class Miner {
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
 
  private:
-  /// Runs transaction `index` to a published profile, retrying conflict
-  /// aborts. Called on pool threads; writes only to its own slots.
-  void mine_one(std::uint32_t index, const chain::Transaction& tx,
-                std::vector<stm::LockProfile>& profiles, std::vector<vm::TxStatus>& statuses);
-
   /// Builds the block: derives the happens-before graph from `profiles`,
   /// topologically sorts it, snapshots the state root.
   [[nodiscard]] chain::Block assemble(const std::vector<chain::Transaction>& txs,
@@ -86,8 +93,8 @@ class Miner {
                                       std::vector<stm::LockProfile> profiles,
                                       const chain::Block& parent);
 
-  vm::World& world_;
   MinerConfig config_;
+  ExecutionEngine engine_;
   stm::BoostingRuntime runtime_;
   sched::ThreadPool pool_;
   MinerStats stats_;

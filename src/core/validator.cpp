@@ -4,7 +4,6 @@
 #include <mutex>
 #include <vector>
 
-#include "core/execution.hpp"
 #include "graph/happens_before.hpp"
 #include "vm/trace.hpp"
 
@@ -26,7 +25,7 @@ std::string_view to_string(RejectReason reason) noexcept {
 }
 
 Validator::Validator(vm::World& world, ValidatorConfig config)
-    : world_(world), config_(config), pool_(config.threads) {}
+    : config_(config), engine_(world, config.engine()), pool_(config.threads) {}
 
 bool Validator::structural_checks(const chain::Block& block, ValidationReport& report) const {
   const auto fail = [&report](RejectReason reason, std::string detail) {
@@ -99,11 +98,7 @@ ValidationReport Validator::validate_parallel(const chain::Block& block) {
   pool_.run_dag(n, preds, succs, [&](std::uint32_t i) {
     try {
       vm::TraceRecorder trace;
-      vm::ExecContext ctx =
-          vm::ExecContext::replay(world_, trace, vm::GasMeter(block.transactions[i].gas_limit,
-                                                              config_.nanos_per_gas));
-      ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
-      statuses[i] = execute_transaction(world_, block.transactions[i], ctx);
+      statuses[i] = engine_.execute_traced(block.transactions[i], trace);
       const stm::LockProfile& expected = block.schedule.profiles[i];
       const bool reverted = statuses[i] != vm::TxStatus::kSuccess;
       if (!trace.matches(expected) || expected.reverted != reverted) {
@@ -134,7 +129,7 @@ ValidationReport Validator::validate_parallel(const chain::Block& block) {
     report.detail = "transaction outcome divergence";
     return report;
   }
-  if (world_.state_root() != block.header.state_root) {
+  if (engine_.world().state_root() != block.header.state_root) {
     report.reason = RejectReason::kStateRootMismatch;
     report.detail = "final state divergence";
     return report;
@@ -153,9 +148,7 @@ ValidationReport Validator::validate_serial(const chain::Block& block) {
   // exactly as pre-paper validators re-run the block's transactions "in
   // block-order".
   for (const std::uint32_t i : block.schedule.serial_order) {
-    vm::ExecContext ctx = vm::ExecContext::serial(
-        world_, vm::GasMeter(block.transactions[i].gas_limit, config_.nanos_per_gas));
-    statuses[i] = execute_transaction(world_, block.transactions[i], ctx);
+    statuses[i] = engine_.execute_serial(block.transactions[i]);
   }
   report.replayed = n;
 
@@ -164,7 +157,7 @@ ValidationReport Validator::validate_serial(const chain::Block& block) {
     report.detail = "transaction outcome divergence (serial)";
     return report;
   }
-  if (world_.state_root() != block.header.state_root) {
+  if (engine_.world().state_root() != block.header.state_root) {
     report.reason = RejectReason::kStateRootMismatch;
     report.detail = "final state divergence (serial)";
     return report;

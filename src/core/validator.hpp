@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "chain/block.hpp"
+#include "core/execution_engine.hpp"
 #include "sched/fork_join.hpp"
 #include "vm/gas.hpp"
 #include "vm/world.hpp"
@@ -43,6 +44,12 @@ struct ValidatorConfig {
   double nanos_per_gas = vm::GasMeter::kDefaultNanosPerGas;
   /// Must match the mining-side MinerConfig::exclusive_locks_only.
   bool exclusive_locks_only = false;
+
+  /// The execution-side subset, shared verbatim with the Miner so both
+  /// stages run on the same ExecutionEngine semantics.
+  [[nodiscard]] ExecutionConfig engine() const noexcept {
+    return ExecutionConfig{nanos_per_gas, exclusive_locks_only};
+  }
 };
 
 /// The paper's validator (§4 / Algorithm 2).
@@ -80,8 +87,8 @@ class Validator {
   /// when `report` is still clean.
   bool structural_checks(const chain::Block& block, ValidationReport& report) const;
 
-  vm::World& world_;
   ValidatorConfig config_;
+  ExecutionEngine engine_;
   sched::ForkJoinPool pool_;
 };
 

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.hpp"
+
+namespace concord::node {
+
+/// When the mempool cuts a block-sized batch. A batch closes as soon as
+/// either target is reached; gas is accumulated from each transaction's
+/// gas_limit (the only a-priori cost bound a node has before executing).
+/// Both policies cut on queue *content*, never on timing, so a given
+/// submission order always yields the same batch boundaries — the node's
+/// determinism guarantee starts here.
+struct BatchPolicy {
+  std::size_t target_txs = 100;  ///< Cut after this many transactions.
+  /// 0 = no gas bound; else cut at the first transaction whose gas_limit
+  /// brings the batch to or past the target (so a batch may overshoot by
+  /// up to one transaction's gas_limit — the target is a trigger, not a
+  /// hard ceiling).
+  std::uint64_t target_gas = 0;
+};
+
+/// Counters describing the pool's lifetime traffic.
+struct MempoolStats {
+  std::uint64_t submitted = 0;   ///< Transactions accepted by submit().
+  std::uint64_t rejected = 0;    ///< Submissions refused because the pool was closed.
+  std::uint64_t batches = 0;     ///< Batches handed to the miner.
+  std::size_t high_water = 0;    ///< Max transactions queued at once.
+};
+
+/// Thread-safe FIFO transaction queue with block batching — the node's
+/// ingress stage. Any number of producer threads submit(); one miner
+/// thread consumes next_batch(). Producers block while the pool is at
+/// capacity (backpressure instead of unbounded memory under sustained
+/// overload); the consumer blocks until a full batch is available or the
+/// pool is closed, at which point the remainder drains as a final short
+/// batch.
+class Mempool {
+ public:
+  /// `capacity` == 0 means unbounded (no producer backpressure). A
+  /// bounded capacity must fit a full tx-count batch — otherwise
+  /// producers would block at capacity while next_batch() waits for a
+  /// count that can never be reached (throws std::invalid_argument).
+  /// A target_gas unreachable within `capacity` transactions deadlocks
+  /// the same way; the tx-count target (always enforced) is the cap's
+  /// safety net, so keep target_txs ≤ capacity sized realistically.
+  explicit Mempool(BatchPolicy policy = {}, std::size_t capacity = 0);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Enqueues one transaction, blocking while the pool is full. Returns
+  /// false (and drops the transaction) when the pool is closed.
+  bool submit(chain::Transaction tx);
+
+  /// Enqueues a stream in order; returns how many were accepted (all of
+  /// them unless the pool closes mid-stream).
+  std::size_t submit_many(std::vector<chain::Transaction> txs);
+
+  /// Blocks until a policy-complete batch is available, then pops it off
+  /// the queue front. After close(), drains whatever remains as one final
+  /// (possibly short) batch; returns nullopt once closed *and* empty —
+  /// the miner's shutdown signal.
+  [[nodiscard]] std::optional<std::vector<chain::Transaction>> next_batch();
+
+  /// Stops accepting submissions and wakes every waiter. Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const BatchPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] MempoolStats stats() const;
+
+ private:
+  /// Caller holds mu_. True when the queue front satisfies the policy.
+  [[nodiscard]] bool batch_ready() const;
+
+  /// Caller holds mu_. Pops the policy-sized prefix off the queue.
+  [[nodiscard]] std::vector<chain::Transaction> cut_batch();
+
+  BatchPolicy policy_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_available_;  ///< Producers wait here when full.
+  std::condition_variable batch_available_;  ///< The miner waits here when starved.
+  std::deque<chain::Transaction> queue_;
+  std::uint64_t queued_gas_ = 0;  ///< Sum of gas_limit over queue_ (O(1) readiness check).
+  bool closed_ = false;
+  MempoolStats stats_;
+};
+
+}  // namespace concord::node

@@ -1,0 +1,216 @@
+#include "node/node.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace concord::node {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+vm::World& deref(const std::unique_ptr<vm::World>& world) {
+  if (world == nullptr) throw std::invalid_argument("node: world must not be null");
+  return *world;
+}
+
+}  // namespace
+
+Node::Node(std::unique_ptr<vm::World> miner_world, std::unique_ptr<vm::World> validator_world,
+           NodeConfig config)
+    : config_(config),
+      miner_world_(std::move(miner_world)),
+      validator_world_(std::move(validator_world)),
+      mempool_(config.batch, config.mempool_capacity),
+      miner_(deref(miner_world_), config.miner),
+      validator_(deref(validator_world_), config.validator),
+      chain_(miner_world_->state_root()) {
+  if (miner_world_->state_root() != validator_world_->state_root()) {
+    throw std::invalid_argument("node: miner and validator worlds must share a genesis state");
+  }
+  if (config_.miner.exclusive_locks_only != config_.validator.exclusive_locks_only) {
+    throw std::invalid_argument("node: miner/validator disagree on exclusive_locks_only");
+  }
+}
+
+void Node::run() {
+  if (ran_) throw std::logic_error("Node::run() may only be called once");
+  ran_ = true;
+  const auto start = Clock::now();
+  try {
+    if (config_.pipelined) {
+      run_pipelined();
+    } else {
+      run_sequential();
+    }
+  } catch (...) {
+    // Producers must never hang on a node that has stopped consuming —
+    // not even when a stage failed hard (e.g. the miner's livelock guard).
+    mempool_.close();
+    throw;
+  }
+  mempool_.close();
+  stats_.wall_ms = ms_since(start);
+}
+
+void Node::run_sequential() {
+  chain::Block parent = chain_.tip();
+  double mine_ms = 0.0;
+  double validate_ms = 0.0;
+  double mempool_wait = 0.0;
+  std::uint64_t mined = 0;
+
+  while (config_.max_blocks == 0 || mined < config_.max_blocks) {
+    const auto t_wait = Clock::now();
+    auto batch = mempool_.next_batch();
+    mempool_wait += ms_since(t_wait);
+    if (!batch) break;
+
+    const auto t_mine = Clock::now();
+    chain::Block block = mine_batch(*batch, parent);
+    mine_ms += ms_since(t_mine);
+    ++mined;
+    parent = block;
+    if (!validate_and_append(std::move(block), validate_ms)) break;
+  }
+
+  stats_.mine_ms = mine_ms;
+  stats_.validate_ms = validate_ms;
+  stats_.mempool_wait_ms = mempool_wait;
+}
+
+void Node::run_pipelined() {
+  // Depth-1 handoff slot between the stages. While the validator replays
+  // block N out of the slot, the miner is already mining block N+1 from
+  // the next mempool batch against its post-N world.
+  std::mutex slot_mu;
+  std::condition_variable slot_filled;
+  std::condition_variable slot_emptied;
+  std::optional<chain::Block> slot;
+  bool mining_done = false;
+  std::atomic<bool> validation_stopped{false};
+  std::exception_ptr validator_error;
+  double validate_ms = 0.0;
+  double validator_stall = 0.0;
+
+  std::jthread validator_thread([&] {
+    try {
+      while (true) {
+        const auto t_wait = Clock::now();
+        std::unique_lock lk(slot_mu);
+        slot_filled.wait(lk, [&] { return slot.has_value() || mining_done; });
+        validator_stall += ms_since(t_wait);
+        if (!slot.has_value()) break;  // Mining finished and the slot drained.
+        chain::Block block = std::move(*slot);
+        slot.reset();
+        lk.unlock();
+        slot_emptied.notify_one();
+        if (!validate_and_append(std::move(block), validate_ms)) break;
+      }
+    } catch (...) {
+      validator_error = std::current_exception();
+    }
+    // Covers rejection, drain and error alike: release a miner blocked on
+    // the slot or inside next_batch, and producers blocked on capacity.
+    validation_stopped.store(true, std::memory_order_relaxed);
+    { std::scoped_lock lk(slot_mu); }
+    slot_emptied.notify_all();
+    mempool_.close();
+  });
+
+  chain::Block parent = chain_.tip();
+  double mine_ms = 0.0;
+  double mempool_wait = 0.0;
+  double handoff_wait = 0.0;
+  std::uint64_t mined = 0;
+  std::exception_ptr miner_error;
+
+  try {
+    while (!validation_stopped.load(std::memory_order_relaxed) &&
+           (config_.max_blocks == 0 || mined < config_.max_blocks)) {
+      const auto t_wait = Clock::now();
+      auto batch = mempool_.next_batch();
+      mempool_wait += ms_since(t_wait);
+      if (!batch) break;
+
+      const auto t_mine = Clock::now();
+      chain::Block block = mine_batch(*batch, parent);
+      mine_ms += ms_since(t_mine);
+      ++mined;
+      parent = block;
+
+      const auto t_handoff = Clock::now();
+      {
+        std::unique_lock lk(slot_mu);
+        slot_emptied.wait(lk, [&] {
+          return !slot.has_value() || validation_stopped.load(std::memory_order_relaxed);
+        });
+        if (validation_stopped.load(std::memory_order_relaxed)) break;
+        slot = std::move(block);
+      }
+      handoff_wait += ms_since(t_handoff);
+      slot_filled.notify_one();
+    }
+  } catch (...) {
+    // A mining-stage failure (e.g. the livelock guard) must still wind
+    // the validator down — never leave it waiting on a slot_filled
+    // signal that will not come.
+    miner_error = std::current_exception();
+  }
+
+  {
+    std::scoped_lock lk(slot_mu);
+    mining_done = true;
+  }
+  slot_filled.notify_one();
+  validator_thread.join();
+  if (miner_error) std::rethrow_exception(miner_error);
+  if (validator_error) std::rethrow_exception(validator_error);
+
+  stats_.mine_ms = mine_ms;
+  stats_.validate_ms = validate_ms;
+  stats_.mempool_wait_ms = mempool_wait;
+  stats_.handoff_wait_ms = handoff_wait;
+  stats_.validator_stall_ms = validator_stall;
+}
+
+chain::Block Node::mine_batch(const std::vector<chain::Transaction>& batch,
+                              const chain::Block& parent) {
+  chain::Block block = config_.mining == MiningMode::kSerial ? miner_.mine_serial(batch, parent)
+                                                             : miner_.mine(batch, parent);
+  const core::MinerStats& mined = miner_.last_stats();
+  stats_.attempts += mined.attempts;
+  stats_.conflict_aborts += mined.conflict_aborts;
+  stats_.deadlock_victims += mined.deadlock_victims;
+  stats_.schedule_bytes += mined.schedule_bytes;
+  stats_.lock_table_high_water =
+      std::max(stats_.lock_table_high_water, mined.lock_table_high_water);
+  return block;
+}
+
+bool Node::validate_and_append(chain::Block block, double& validate_ms) {
+  const auto t_validate = Clock::now();
+  core::ValidationReport report = validator_.validate_parallel(block);
+  validate_ms += ms_since(t_validate);
+  if (!report.ok) {
+    failure_ = std::move(report);
+    return false;
+  }
+  stats_.blocks += 1;
+  stats_.transactions += block.transactions.size();
+  chain_.append(std::move(block));
+  return true;
+}
+
+}  // namespace concord::node

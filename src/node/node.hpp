@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "chain/blockchain.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "node/mempool.hpp"
+#include "vm/world.hpp"
+
+namespace concord::node {
+
+/// How the node's mining stage executes a batch.
+enum class MiningMode : std::uint8_t {
+  /// Algorithm 1: speculative parallel mining. Fast, but which of two
+  /// conflicting transactions commits first depends on thread timing, so
+  /// the resulting chain is valid-but-not-reproducible.
+  kSpeculative,
+  /// Serial mining with schedule capture. Slower, but the chain is a pure
+  /// function of the transaction stream — the determinism tests run the
+  /// pipeline in this mode and require byte-identical output.
+  kSerial,
+};
+
+/// Everything the node needs to bring up both stages. The miner and
+/// validator configs carry the shared ExecutionConfig; they must agree on
+/// exclusive_locks_only (enforced at construction).
+struct NodeConfig {
+  core::MinerConfig miner;
+  core::ValidatorConfig validator;
+  BatchPolicy batch;
+  std::size_t mempool_capacity = 0;  ///< 0 = unbounded (no producer backpressure).
+  bool pipelined = true;             ///< false = mine→validate→append strictly in turn.
+  MiningMode mining = MiningMode::kSpeculative;
+  std::size_t max_blocks = 0;        ///< 0 = run until the mempool closes and drains.
+};
+
+/// Per-stage counters for one run() — the sustained-traffic numbers the
+/// one-shot benches cannot produce.
+struct NodeStats {
+  std::uint64_t blocks = 0;        ///< Blocks mined, validated and appended.
+  std::uint64_t transactions = 0;  ///< Transactions across those blocks.
+  double wall_ms = 0.0;            ///< run() duration.
+  double mine_ms = 0.0;            ///< Total time inside the mining stage.
+  double validate_ms = 0.0;        ///< Total time inside the validation stage.
+  /// Mining stage blocked on an empty mempool (ingress starvation).
+  double mempool_wait_ms = 0.0;
+  /// Mining stage blocked handing a block to a still-busy validator — the
+  /// pipeline's stall time when validation is the bottleneck.
+  double handoff_wait_ms = 0.0;
+  /// Validation stage blocked waiting for a mined block — the pipeline's
+  /// stall time when mining is the bottleneck.
+  double validator_stall_ms = 0.0;
+
+  // Aggregated over every mined block.
+  std::uint64_t attempts = 0;
+  std::uint64_t conflict_aborts = 0;
+  std::uint64_t deadlock_victims = 0;
+  std::size_t schedule_bytes = 0;
+  std::size_t lock_table_high_water = 0;
+
+  [[nodiscard]] double blocks_per_sec() const noexcept {
+    return wall_ms > 0 ? static_cast<double>(blocks) * 1e3 / wall_ms : 0.0;
+  }
+  /// Sustained throughput: every transaction both mined *and* validated,
+  /// over wall time — the honest end-to-end number.
+  [[nodiscard]] double tx_per_sec() const noexcept {
+    return wall_ms > 0 ? static_cast<double>(transactions) * 1e3 / wall_ms : 0.0;
+  }
+};
+
+/// A continuously-running node: mempool → speculative miner → overlapped
+/// validator, appending to its own chain.
+///
+/// The two stages own independent worlds. The miner's world advances as
+/// it mines: after block N it already holds the post-N state, which *is*
+/// the snapshot block N+1 executes against — handing a snapshot forward
+/// costs nothing because nothing ever copies a World. The validator keeps
+/// its own replica, replaying each block against post-(N−1) state and
+/// cross-checking the published state root. With `pipelined`, validation
+/// of block N overlaps mining of block N+1 through a depth-1 handoff slot
+/// (the two-stage pipeline; the slot bounds speculation so a bad block
+/// can't let the miner run arbitrarily far ahead of validation).
+///
+/// Usage: construct with two worlds in identical genesis state, feed
+/// mempool() from any number of producer threads, call run() (blocking),
+/// close() the mempool to shut down cleanly. A rejected block stops the
+/// node and is reported through ok()/failure().
+class Node {
+ public:
+  /// Throws std::invalid_argument when the worlds' genesis state roots
+  /// differ or the miner/validator configs disagree on lock semantics.
+  Node(std::unique_ptr<vm::World> miner_world, std::unique_ptr<vm::World> validator_world,
+       NodeConfig config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] Mempool& mempool() noexcept { return mempool_; }
+
+  /// Processes the stream until the mempool closes and drains, max_blocks
+  /// is reached, or a block is rejected. Call once; blocking. The mempool
+  /// is closed by the time run() returns, so producers never hang.
+  void run();
+
+  [[nodiscard]] const chain::Blockchain& chain() const noexcept { return chain_; }
+
+  /// Valid after run() returns.
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+
+  /// False when run() stopped because validation rejected a block.
+  [[nodiscard]] bool ok() const noexcept { return !failure_.has_value(); }
+  [[nodiscard]] const core::ValidationReport& failure() const { return failure_.value(); }
+
+ private:
+  void run_pipelined();
+  void run_sequential();
+
+  /// Mines one batch in the configured mode, folding MinerStats into the
+  /// node aggregates. Returns the block extending `parent`.
+  [[nodiscard]] chain::Block mine_batch(const std::vector<chain::Transaction>& batch,
+                                        const chain::Block& parent);
+
+  /// Validates and appends; on rejection records failure_ and returns
+  /// false. `validate_ms` accumulates stage time.
+  bool validate_and_append(chain::Block block, double& validate_ms);
+
+  NodeConfig config_;
+  std::unique_ptr<vm::World> miner_world_;
+  std::unique_ptr<vm::World> validator_world_;
+  Mempool mempool_;
+  core::Miner miner_;
+  core::Validator validator_;
+  chain::Blockchain chain_;
+  NodeStats stats_;
+  std::optional<core::ValidationReport> failure_;
+  bool ran_ = false;
+};
+
+}  // namespace concord::node

@@ -47,6 +47,16 @@ class AbstractLock {
     return holders_.size();
   }
 
+  /// Zeroes the §4 use counter for the next block while keeping the node
+  /// (and its holder-vector capacity) allocated. Caller must guarantee no
+  /// action holds or waits on the lock — same contract as
+  /// LockTable::reset(), which is the only intended caller.
+  void reset_for_next_block() {
+    std::scoped_lock lk(mutex_);
+    holders_.clear();
+    use_counter_ = 0;
+  }
+
  private:
   friend class SpeculativeAction;
 

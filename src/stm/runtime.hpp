@@ -29,7 +29,8 @@ class BoostingRuntime {
     return birth_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Clears all locks (and use counters), deadlock state and stamps.
+  /// Zeroes all use counters (recycling lock allocations — see
+  /// LockTable::reset), deadlock state and stamps.
   void reset() {
     locks_.reset();
     deadlocks_.reset();

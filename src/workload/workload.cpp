@@ -174,6 +174,19 @@ chain::Block Fixture::genesis() const {
   return genesis;
 }
 
+Fixture make_stream_fixture(const StreamSpec& spec) {
+  // A stream is a single oversized workload cut into blocks downstream:
+  // conflicts are laid out across the whole stream (a conflicting pair
+  // may straddle a block boundary), which is exactly the regime a real
+  // mempool produces — contention does not respect block edges.
+  WorkloadSpec flat;
+  flat.kind = spec.kind;
+  flat.transactions = spec.total_transactions();
+  flat.conflict_percent = spec.conflict_percent;
+  flat.seed = spec.seed;
+  return make_fixture(flat);
+}
+
 Fixture make_fixture(const WorkloadSpec& spec) {
   Fixture fixture;
   fixture.world = std::make_unique<vm::World>();

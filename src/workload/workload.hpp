@@ -61,6 +61,29 @@ struct Fixture {
 /// transactions and an identical genesis state root.
 [[nodiscard]] Fixture make_fixture(const WorkloadSpec& spec);
 
+/// A sustained multi-block stream for the node pipeline: `blocks` blocks'
+/// worth of traffic against one world. The contract state is provisioned
+/// for the whole stream up front (every voter registered, every bid
+/// escrowed), exactly as make_fixture does for a single block.
+struct StreamSpec {
+  BenchmarkKind kind = BenchmarkKind::kMixed;
+  std::size_t blocks = 20;
+  std::size_t txs_per_block = 100;
+  unsigned conflict_percent = 15;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t total_transactions() const noexcept {
+    return blocks * txs_per_block;
+  }
+};
+
+/// Builds the fixture for a block stream: the world in genesis state and
+/// blocks×txs_per_block transactions in deterministic stream order. A
+/// mempool batching at txs_per_block recreates the per-block workloads.
+/// Call twice with the same spec to get two worlds in identical genesis
+/// state — how a node's miner- and validator-side replicas are born.
+[[nodiscard]] Fixture make_stream_fixture(const StreamSpec& spec);
+
 /// Number of transactions that should be generated as conflicting for a
 /// block of `transactions` at `conflict_percent`, honoring the paper's
 /// definition (a "conflicting" transaction must have at least one partner,

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "core/miner.hpp"
+#include "core/validator.hpp"
+#include "node/node.hpp"
+#include "workload/workload.hpp"
+
+namespace concord::node {
+namespace {
+
+using workload::BenchmarkKind;
+using workload::StreamSpec;
+using workload::make_stream_fixture;
+
+StreamSpec stream_spec(BenchmarkKind kind, std::size_t blocks, std::size_t txs_per_block,
+                       unsigned conflict) {
+  StreamSpec spec;
+  spec.kind = kind;
+  spec.blocks = blocks;
+  spec.txs_per_block = txs_per_block;
+  spec.conflict_percent = conflict;
+  return spec;
+}
+
+/// Unit tests skip the calibrated gas burn.
+NodeConfig fast_node(const StreamSpec& spec) {
+  NodeConfig config;
+  config.miner.nanos_per_gas = 0.0;
+  config.validator.nanos_per_gas = 0.0;
+  config.batch.target_txs = spec.txs_per_block;
+  return config;
+}
+
+/// Builds a node over two fresh replicas of the stream's genesis world.
+std::unique_ptr<Node> make_node(const StreamSpec& spec, NodeConfig config) {
+  auto miner_side = make_stream_fixture(spec);
+  auto validator_side = make_stream_fixture(spec);
+  return std::make_unique<Node>(std::move(miner_side.world), std::move(validator_side.world),
+                                config);
+}
+
+/// Runs `node` over the stream with a concurrent producer; expects clean
+/// completion.
+void drive(Node& node, std::vector<chain::Transaction> stream) {
+  std::jthread producer([&node, &stream] {
+    (void)node.mempool().submit_many(std::move(stream));
+    node.mempool().close();
+  });
+  node.run();
+}
+
+/// The unpipelined reference the acceptance criterion names: cut the
+/// stream into policy-sized batches, serial-mine each, validate, append —
+/// one block fully finished before the next begins.
+chain::Blockchain sequential_reference(const StreamSpec& spec) {
+  auto mine_side = make_stream_fixture(spec);
+  auto validate_side = make_stream_fixture(spec);
+  core::MinerConfig miner_config;
+  miner_config.nanos_per_gas = 0.0;
+  core::ValidatorConfig validator_config;
+  validator_config.nanos_per_gas = 0.0;
+  core::Miner miner(*mine_side.world, miner_config);
+  core::Validator validator(*validate_side.world, validator_config);
+
+  chain::Blockchain chain(mine_side.world->state_root());
+  const auto& stream = mine_side.transactions;
+  for (std::size_t start = 0; start < stream.size(); start += spec.txs_per_block) {
+    const std::size_t end = std::min(start + spec.txs_per_block, stream.size());
+    const std::vector<chain::Transaction> batch(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                                                stream.begin() + static_cast<std::ptrdiff_t>(end));
+    chain::Block block = miner.mine_serial(batch, chain.tip());
+    const core::ValidationReport report = validator.validate_parallel(block);
+    EXPECT_TRUE(report.ok) << core::to_string(report.reason) << ": " << report.detail;
+    chain.append(std::move(block));
+  }
+  return chain;
+}
+
+// ------------------------------------------- Pipeline determinism ---
+
+class PipelineDeterminism : public ::testing::TestWithParam<BenchmarkKind> {};
+
+/// The acceptance criterion: a pipelined node in deterministic (serial)
+/// mining mode over ≥20 blocks produces a chain byte-identical — block
+/// hashes, state roots, statuses, schedules — to the sequential
+/// mine→validate→append loop over the same mempool stream.
+TEST_P(PipelineDeterminism, PipelinedChainIsByteIdenticalToSequentialLoop) {
+  const StreamSpec spec = stream_spec(GetParam(), /*blocks=*/20, /*txs_per_block=*/25,
+                                      /*conflict=*/20);
+
+  NodeConfig config = fast_node(spec);
+  config.pipelined = true;
+  config.mining = MiningMode::kSerial;
+  auto node = make_node(spec, config);
+  drive(*node, make_stream_fixture(spec).transactions);
+
+  ASSERT_TRUE(node->ok());
+  const chain::Blockchain& pipelined = node->chain();
+  const chain::Blockchain reference = sequential_reference(spec);
+
+  ASSERT_EQ(pipelined.height(), spec.blocks);
+  ASSERT_EQ(pipelined.height(), reference.height());
+  for (std::uint64_t n = 0; n <= reference.height(); ++n) {
+    EXPECT_EQ(pipelined.at(n), reference.at(n)) << "block " << n << " diverged";
+    EXPECT_EQ(pipelined.at(n).hash(), reference.at(n).hash());
+  }
+  EXPECT_TRUE(pipelined.verify_links());
+}
+
+/// Pipelining is a scheduling change, not a semantic one: the same node
+/// config with pipelined=false must also reproduce the reference chain.
+TEST_P(PipelineDeterminism, SequentialNodeMatchesPipelinedNode) {
+  const StreamSpec spec = stream_spec(GetParam(), /*blocks=*/8, /*txs_per_block=*/20,
+                                      /*conflict=*/30);
+
+  NodeConfig pipelined_config = fast_node(spec);
+  pipelined_config.pipelined = true;
+  pipelined_config.mining = MiningMode::kSerial;
+  auto pipelined = make_node(spec, pipelined_config);
+  drive(*pipelined, make_stream_fixture(spec).transactions);
+
+  NodeConfig sequential_config = fast_node(spec);
+  sequential_config.pipelined = false;
+  sequential_config.mining = MiningMode::kSerial;
+  auto sequential = make_node(spec, sequential_config);
+  drive(*sequential, make_stream_fixture(spec).transactions);
+
+  ASSERT_TRUE(pipelined->ok());
+  ASSERT_TRUE(sequential->ok());
+  ASSERT_EQ(pipelined->chain().height(), sequential->chain().height());
+  for (std::uint64_t n = 0; n <= pipelined->chain().height(); ++n) {
+    EXPECT_EQ(pipelined->chain().at(n), sequential->chain().at(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineDeterminism,
+                         ::testing::Values(BenchmarkKind::kBallot, BenchmarkKind::kSimpleAuction,
+                                           BenchmarkKind::kEtherDoc, BenchmarkKind::kMixed),
+                         [](const auto& info) {
+                           return std::string(workload::to_string(info.param));
+                         });
+
+// --------------------------------------------- Speculative pipeline ---
+
+/// With speculative mining the schedule depends on thread timing, so the
+/// chain is not byte-reproducible — but every block must still validate
+/// and the stream must be fully processed.
+TEST(NodePipeline, SpeculativeStreamFullyValidated) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/20, /*txs_per_block=*/25,
+                                      /*conflict=*/25);
+  NodeConfig config = fast_node(spec);
+  config.pipelined = true;
+  config.mining = MiningMode::kSpeculative;
+  config.mempool_capacity = 2 * spec.txs_per_block;  // Exercise backpressure too.
+  auto node = make_node(spec, config);
+  drive(*node, make_stream_fixture(spec).transactions);
+
+  ASSERT_TRUE(node->ok()) << core::to_string(node->failure().reason);
+  EXPECT_EQ(node->chain().height(), spec.blocks);
+  EXPECT_TRUE(node->chain().verify_links());
+
+  const NodeStats& stats = node->stats();
+  EXPECT_EQ(stats.blocks, spec.blocks);
+  EXPECT_EQ(stats.transactions, spec.total_transactions());
+  EXPECT_GE(stats.attempts, stats.transactions);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.mine_ms, 0.0);
+  EXPECT_GT(stats.validate_ms, 0.0);
+  EXPECT_GT(stats.lock_table_high_water, 0u);
+}
+
+// ----------------------------------------------- Shutdown semantics ---
+
+TEST(NodePipeline, ShortFinalBatchDrainsOnClose) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, /*blocks=*/3, /*txs_per_block=*/20,
+                                      /*conflict=*/0);
+  NodeConfig config = fast_node(spec);
+  auto node = make_node(spec, config);
+
+  // 47 transactions at target 20: blocks of 20, 20, then 7 on close.
+  auto stream = make_stream_fixture(spec).transactions;
+  stream.resize(47);
+  drive(*node, std::move(stream));
+
+  ASSERT_TRUE(node->ok());
+  ASSERT_EQ(node->chain().height(), 3u);
+  EXPECT_EQ(node->chain().at(1).transactions.size(), 20u);
+  EXPECT_EQ(node->chain().at(2).transactions.size(), 20u);
+  EXPECT_EQ(node->chain().at(3).transactions.size(), 7u);
+}
+
+TEST(NodePipeline, MaxBlocksStopsTheStream) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kEtherDoc, /*blocks=*/10,
+                                      /*txs_per_block=*/15, /*conflict=*/10);
+  NodeConfig config = fast_node(spec);
+  config.max_blocks = 4;
+  auto node = make_node(spec, config);
+  drive(*node, make_stream_fixture(spec).transactions);
+
+  ASSERT_TRUE(node->ok());
+  EXPECT_EQ(node->chain().height(), 4u);
+  // run() closes the mempool so producers can't hang on a stopped node.
+  EXPECT_TRUE(node->mempool().closed());
+}
+
+TEST(NodePipeline, RunTwiceThrows) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 1, 5, 0);
+  auto node = make_node(spec, fast_node(spec));
+  node->mempool().close();
+  node->run();
+  EXPECT_THROW(node->run(), std::logic_error);
+}
+
+// ------------------------------------------------ Construction guards ---
+
+TEST(NodeConstruction, RejectsMismatchedGenesisWorlds) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 2, 10, 0);
+  StreamSpec other = spec;
+  other.kind = BenchmarkKind::kEtherDoc;  // Different contracts ⇒ different genesis root.
+  auto miner_side = make_stream_fixture(spec);
+  auto validator_side = make_stream_fixture(other);
+  EXPECT_THROW(Node(std::move(miner_side.world), std::move(validator_side.world), NodeConfig{}),
+               std::invalid_argument);
+}
+
+TEST(NodeConstruction, RejectsLockSemanticsDisagreement) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 2, 10, 0);
+  auto miner_side = make_stream_fixture(spec);
+  auto validator_side = make_stream_fixture(spec);
+  NodeConfig config;
+  config.miner.exclusive_locks_only = true;
+  EXPECT_THROW(Node(std::move(miner_side.world), std::move(validator_side.world), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace concord::node

@@ -441,12 +441,27 @@ TEST(LockTable, DistinctIdsDistinctLocks) {
   EXPECT_EQ(table.size(), 3u);
 }
 
-TEST(LockTable, ResetClearsCounters) {
+TEST(LockTable, ResetClearsCountersAndReusesAllocations) {
   LockTable table;
-  (void)table.get(LockId{1, 2});
+  AbstractLock& before = table.get(LockId{1, 2});
   table.reset();
+  // The node survives the reset with its counter zeroed…
+  EXPECT_EQ(table.size(), 1u);
+  AbstractLock& after = table.get(LockId{1, 2});
+  EXPECT_EQ(&before, &after);
+  EXPECT_EQ(after.use_counter(), 0u);
+  EXPECT_EQ(after.holder_count(), 0u);
+  EXPECT_EQ(table.high_water(), 1u);
+}
+
+TEST(LockTable, ResetShrinksPastThreshold) {
+  LockTable table;
+  for (std::uint64_t i = 0; i < 16; ++i) (void)table.get(LockId{1, i});
+  EXPECT_EQ(table.high_water(), 16u);
+  table.reset(/*shrink_threshold=*/8);
   EXPECT_EQ(table.size(), 0u);
-  EXPECT_EQ(table.get(LockId{1, 2}).use_counter(), 0u);
+  // The high-water mark survives the shrink.
+  EXPECT_EQ(table.high_water(), 16u);
 }
 
 // ------------------------------------------- Parallel stress (smoke) ---
