@@ -33,13 +33,13 @@ struct ModeResult {
   }
 };
 
-/// One full stream run: two worlds born from the same spec, a producer
-/// thread feeding the mempool, the node driving both stages to drain.
+/// One full stream run: one genesis world (the node clones the
+/// validator's replica itself), a producer thread feeding the mempool,
+/// the node driving both stages to drain.
 node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunConfig& config,
                            bool pipelined) {
-  workload::Fixture miner_side = workload::make_stream_fixture(spec);
-  workload::Fixture validator_side = workload::make_stream_fixture(spec);
-  std::vector<chain::Transaction> stream = std::move(miner_side.transactions);
+  workload::Fixture fixture = workload::make_stream_fixture(spec);
+  std::vector<chain::Transaction> stream = std::move(fixture.transactions);
 
   node::NodeConfig node_config;
   node_config.miner.threads = config.threads;
@@ -53,7 +53,7 @@ node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunCon
   node_config.pipelined = pipelined;
   node_config.mining = node::MiningMode::kSpeculative;
 
-  node::Node node(std::move(miner_side.world), std::move(validator_side.world), node_config);
+  node::Node node(std::move(fixture.world), node_config);
   std::jthread producer([&node, &stream] {
     (void)node.mempool().submit_many(std::move(stream));
     node.mempool().close();
@@ -83,7 +83,8 @@ ModeResult measure_mode(const workload::StreamSpec& spec, const bench::RunConfig
 void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pipelined,
                double overlap_speedup) {
   std::ostringstream object;
-  object << "{\"benchmark\": \"NodeStream/" << workload::to_string(spec.kind) << "\""
+  object << "{\"benchmark\": \"NodeStream/" << bench::json_escape(workload::to_string(spec.kind))
+         << "\""
          << ", \"blocks\": " << mode.last.blocks
          << ", \"txs_per_block\": " << spec.txs_per_block
          << ", \"transactions\": " << mode.last.transactions
@@ -119,6 +120,12 @@ int main(int argc, char** argv) {
     if (arg.starts_with("--block-txs=")) {
       base.txs_per_block = std::strtoul(arg.data() + 12, nullptr, 10);
     }
+  }
+  if (base.blocks == 0 || base.txs_per_block == 0) {
+    // A typo'd flag must not record a degenerate zero-throughput point
+    // into the committed trajectory files.
+    std::fprintf(stderr, "bench_node_throughput: --blocks/--block-txs must be positive integers\n");
+    return 2;
   }
 
   std::printf(

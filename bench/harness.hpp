@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/miner.hpp"
@@ -72,8 +73,17 @@ struct PointResult {
 /// --json sink alongside the measure_point() records. For benches whose
 /// measurement loop doesn't fit PointResult (bench_node_throughput's
 /// sustained pipeline runs); no-op when --json wasn't passed. Objects
-/// should carry the shared "sustained_tx_per_sec" key where applicable.
+/// should carry the shared "sustained_tx_per_sec" key where applicable,
+/// and must run any free-form text (benchmark names, error details)
+/// through json_escape() before embedding it in a string value.
 void write_json_object(const std::string& object);
+
+/// Escapes `raw` for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters per RFC 8259. Used by the harness's
+/// own point writer and by bespoke benches building write_json_object()
+/// payloads, so a workload name (or failure detail) with a quote can't
+/// corrupt the results file.
+[[nodiscard]] std::string json_escape(std::string_view raw);
 
 /// The paper's sweep axes.
 [[nodiscard]] std::vector<std::size_t> blocksize_axis(bool quick);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Folds one bench_node_throughput JSON array into the cross-PR throughput
+# record: bench/trajectory/BENCH_<commit>.json, one file per measured
+# commit, committed to the repo so `sustained_tx_per_sec` can be compared
+# across PRs (the ROADMAP's trajectory item). The file is also copied
+# into the bench output dir so CI artifacts carry it.
+#
+# usage: bench/record_trajectory.sh <bench_node_throughput.json> [out-dir]
+set -euo pipefail
+SRC="${1:?usage: record_trajectory.sh <bench_node_throughput.json> [out-dir]}"
+OUT_DIR="${2:-bench_results}"
+# Resolve caller-relative paths before moving to the repo root.
+SRC="$(readlink -f "$SRC")"
+mkdir -p "$OUT_DIR"
+OUT_DIR="$(readlink -f "$OUT_DIR")"
+cd "$(dirname "$0")/.."
+
+COMMIT="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+DIRTY=""
+git diff --quiet HEAD 2>/dev/null || DIRTY="-dirty"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+HW_THREADS="$(nproc 2>/dev/null || echo 0)"
+
+mkdir -p bench/trajectory
+DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
+{
+  printf '{\n'
+  printf '  "commit": "%s%s",\n' "$COMMIT" "$DIRTY"
+  printf '  "date": "%s",\n' "$DATE"
+  printf '  "hardware_threads": %s,\n' "$HW_THREADS"
+  printf '  "node_throughput": '
+  cat "$SRC"
+  printf '}\n'
+} > "$DEST"
+cp -f "$DEST" "$OUT_DIR/"
+echo "trajectory: $DEST"

@@ -46,4 +46,11 @@ if [[ -x "$BIN_DIR/bench_stm_micro" ]]; then
   "$BIN_DIR/bench_stm_micro" --benchmark_format=json > "$OUT_DIR/bench_stm_micro.json"
 fi
 
+# Cross-PR sustained-throughput record: wrap the node-throughput points
+# (they carry sustained_tx_per_sec) into bench/trajectory/BENCH_<commit>.json.
+if [[ -s "$OUT_DIR/bench_node_throughput.json" ]] \
+    && grep -q '{' "$OUT_DIR/bench_node_throughput.json"; then
+  bench/record_trajectory.sh "$OUT_DIR/bench_node_throughput.json" "$OUT_DIR"
+fi
+
 echo "JSON results in $OUT_DIR/"

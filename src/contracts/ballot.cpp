@@ -150,6 +150,13 @@ void Ballot::hash_state(vm::StateHasher& hasher) const {
   vote_counts_.hash_state(hasher, "voteCounts");
 }
 
+std::unique_ptr<vm::Contract> Ballot::clone() const {
+  auto copy = std::make_unique<Ballot>(address(), chairperson_, names_);
+  copy->voters_.clone_state_from(voters_);
+  copy->vote_counts_.clone_state_from(vote_counts_);
+  return copy;
+}
+
 chain::Transaction Ballot::make_vote_tx(const vm::Address& contract, const vm::Address& sender,
                                         std::uint64_t proposal) {
   return chain::TxBuilder(contract, sender, kVote).arg_u64(proposal).build();

@@ -120,6 +120,14 @@ void EtherDoc::hash_state(vm::StateHasher& hasher) const {
   owner_docs_.hash_state(hasher, "ownerDocs");
 }
 
+std::unique_ptr<vm::Contract> EtherDoc::clone() const {
+  auto copy = std::make_unique<EtherDoc>(address(), creator_);
+  copy->documents_.clone_state_from(documents_);
+  copy->owner_counts_.clone_state_from(owner_counts_);
+  copy->owner_docs_.clone_state_from(owner_docs_);
+  return copy;
+}
+
 chain::Transaction EtherDoc::make_create_tx(const vm::Address& contract,
                                             const vm::Address& sender, std::uint64_t hashcode) {
   return chain::TxBuilder(contract, sender, kCreateDocument).arg_u64(hashcode).build();

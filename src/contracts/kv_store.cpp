@@ -85,6 +85,13 @@ void KvStore::hash_state(vm::StateHasher& hasher) const {
   }
 }
 
+std::unique_ptr<vm::Contract> KvStore::clone() const {
+  auto copy = std::make_unique<KvStore>(address(), backend_);
+  copy->eager_.clone_state_from(eager_);
+  copy->lazy_.clone_state_from(lazy_);
+  return copy;
+}
+
 chain::Transaction KvStore::make_put_tx(const vm::Address& contract, const vm::Address& sender,
                                         std::uint64_t key, std::int64_t value) {
   return chain::TxBuilder(contract, sender, kPut)

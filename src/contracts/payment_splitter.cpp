@@ -62,6 +62,12 @@ void PaymentSplitter::hash_state(vm::StateHasher& hasher) const {
   stats_.hash_state(hasher, "stats");
 }
 
+std::unique_ptr<vm::Contract> PaymentSplitter::clone() const {
+  auto copy = std::make_unique<PaymentSplitter>(address(), token_, payees_);
+  copy->stats_.clone_state_from(stats_);
+  return copy;
+}
+
 chain::Transaction PaymentSplitter::make_distribute_tx(const vm::Address& contract,
                                                        const vm::Address& sender,
                                                        vm::Amount amount) {

@@ -101,6 +101,15 @@ void SimpleAuction::hash_state(vm::StateHasher& hasher) const {
   ended_.hash_state(hasher, "ended");
 }
 
+std::unique_ptr<vm::Contract> SimpleAuction::clone() const {
+  auto copy = std::make_unique<SimpleAuction>(address(), beneficiary_);
+  copy->highest_bidder_.clone_state_from(highest_bidder_);
+  copy->highest_bid_.clone_state_from(highest_bid_);
+  copy->pending_returns_.clone_state_from(pending_returns_);
+  copy->ended_.clone_state_from(ended_);
+  return copy;
+}
+
 chain::Transaction SimpleAuction::make_bid_tx(const vm::Address& contract,
                                               const vm::Address& sender, vm::Amount amount) {
   return chain::TxBuilder(contract, sender, kBid).value(amount).build();

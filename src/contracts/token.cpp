@@ -80,6 +80,12 @@ void Token::hash_state(vm::StateHasher& hasher) const {
   balances_.hash_state(hasher, "balances");
 }
 
+std::unique_ptr<vm::Contract> Token::clone() const {
+  auto copy = std::make_unique<Token>(address(), symbol_, issuer_);
+  copy->balances_.clone_state_from(balances_);
+  return copy;
+}
+
 chain::Transaction Token::make_transfer_tx(const vm::Address& contract,
                                            const vm::Address& sender, const vm::Address& to,
                                            vm::Amount amount) {

@@ -37,7 +37,16 @@ bool Mempool::submit(chain::Transaction tx) {
 std::size_t Mempool::submit_many(std::vector<chain::Transaction> txs) {
   std::size_t accepted = 0;
   for (auto& tx : txs) {
-    if (!submit(std::move(tx))) break;
+    if (!submit(std::move(tx))) {
+      // submit() counted the rejection that stopped us; the undelivered
+      // tail is dropped here, so it is rejected traffic too.
+      const std::size_t dropped = txs.size() - accepted - 1;
+      if (dropped > 0) {
+        std::scoped_lock lk(mu_);
+        stats_.rejected += dropped;
+      }
+      break;
+    }
     ++accepted;
   }
   return accepted;

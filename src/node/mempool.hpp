@@ -30,7 +30,9 @@ struct BatchPolicy {
 /// Counters describing the pool's lifetime traffic.
 struct MempoolStats {
   std::uint64_t submitted = 0;   ///< Transactions accepted by submit().
-  std::uint64_t rejected = 0;    ///< Submissions refused because the pool was closed.
+  /// Transactions refused because the pool was closed — including the
+  /// undelivered tail of a submit_many() stopped mid-stream.
+  std::uint64_t rejected = 0;
   std::uint64_t batches = 0;     ///< Batches handed to the miner.
   std::size_t high_water = 0;    ///< Max transactions queued at once.
 };
@@ -61,7 +63,8 @@ class Mempool {
   bool submit(chain::Transaction tx);
 
   /// Enqueues a stream in order; returns how many were accepted (all of
-  /// them unless the pool closes mid-stream).
+  /// them unless the pool closes mid-stream, in which case the whole
+  /// undelivered tail counts as rejected).
   std::size_t submit_many(std::vector<chain::Transaction> txs);
 
   /// Blocks until a policy-complete batch is available, then pops it off

@@ -20,29 +20,34 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-vm::World& deref(const std::unique_ptr<vm::World>& world) {
+std::unique_ptr<vm::World> require_world(std::unique_ptr<vm::World> world) {
   if (world == nullptr) throw std::invalid_argument("node: world must not be null");
-  return *world;
+  return world;
+}
+
+/// Validated before any member is built: an invalid config must fail
+/// fast, not after two world deep-clones and two stage thread pools.
+NodeConfig require_config(NodeConfig config) {
+  if (config.miner.exclusive_locks_only != config.validator.exclusive_locks_only) {
+    throw std::invalid_argument("node: miner/validator disagree on exclusive_locks_only");
+  }
+  return config;
 }
 
 }  // namespace
 
-Node::Node(std::unique_ptr<vm::World> miner_world, std::unique_ptr<vm::World> validator_world,
-           NodeConfig config)
-    : config_(config),
-      miner_world_(std::move(miner_world)),
-      validator_world_(std::move(validator_world)),
+// Both stages are clones of one snapshot, so their genesis roots agree
+// by construction — the old dual-world drift guard has nothing left to
+// check.
+Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
+    : config_(require_config(config)),
+      miner_world_(require_world(std::move(world))),
+      genesis_(*miner_world_),
+      validator_world_(genesis_.materialize()),
       mempool_(config.batch, config.mempool_capacity),
-      miner_(deref(miner_world_), config.miner),
-      validator_(deref(validator_world_), config.validator),
-      chain_(miner_world_->state_root()) {
-  if (miner_world_->state_root() != validator_world_->state_root()) {
-    throw std::invalid_argument("node: miner and validator worlds must share a genesis state");
-  }
-  if (config_.miner.exclusive_locks_only != config_.validator.exclusive_locks_only) {
-    throw std::invalid_argument("node: miner/validator disagree on exclusive_locks_only");
-  }
-}
+      miner_(*miner_world_, config.miner),
+      validator_(*validator_world_, config.validator),
+      chain_(genesis_.state_root()) {}
 
 void Node::run() {
   if (ran_) throw std::logic_error("Node::run() may only be called once");
@@ -55,6 +60,9 @@ void Node::run() {
       run_sequential();
     }
   } catch (...) {
+    // Failure diagnostics still carry timing: a run that died after two
+    // hours should not report wall_ms == 0.
+    stats_.wall_ms = ms_since(start);
     // Producers must never hang on a node that has stopped consuming —
     // not even when a stage failed hard (e.g. the miner's livelock guard).
     mempool_.close();

@@ -74,31 +74,40 @@ struct NodeStats {
 /// A continuously-running node: mempool → speculative miner → overlapped
 /// validator, appending to its own chain.
 ///
-/// The two stages own independent worlds. The miner's world advances as
-/// it mines: after block N it already holds the post-N state, which *is*
-/// the snapshot block N+1 executes against — handing a snapshot forward
-/// costs nothing because nothing ever copies a World. The validator keeps
-/// its own replica, replaying each block against post-(N−1) state and
-/// cross-checking the published state root. With `pipelined`, validation
-/// of block N overlaps mining of block N+1 through a depth-1 handoff slot
-/// (the two-stage pipeline; the slot bounds speculation so a bad block
-/// can't let the miner run arbitrarily far ahead of validation).
+/// The node owns ONE genesis world. At construction it freezes a
+/// WorldSnapshot of it and derives the validator's private replica from
+/// that snapshot — both stages share a single state by construction, so
+/// there is no dual-genesis drift to guard against and nothing for
+/// callers to keep in sync. The miner's world then advances as it mines:
+/// after block N it already holds the post-N state, which *is* the
+/// snapshot block N+1 executes against. The validator replays each block
+/// against its replica at post-(N−1) state and cross-checks the
+/// published state root. With `pipelined`, validation of block N
+/// overlaps mining of block N+1 through a depth-1 handoff slot (the
+/// two-stage pipeline; the slot bounds speculation so a bad block can't
+/// let the miner run arbitrarily far ahead of validation).
 ///
-/// Usage: construct with two worlds in identical genesis state, feed
-/// mempool() from any number of producer threads, call run() (blocking),
-/// close() the mempool to shut down cleanly. A rejected block stops the
-/// node and is reported through ok()/failure().
+/// Usage: construct with the genesis world, feed mempool() from any
+/// number of producer threads, call run() (blocking), close() the
+/// mempool to shut down cleanly. A rejected block stops the node and is
+/// reported through ok()/failure().
 class Node {
  public:
-  /// Throws std::invalid_argument when the worlds' genesis state roots
-  /// differ or the miner/validator configs disagree on lock semantics.
-  Node(std::unique_ptr<vm::World> miner_world, std::unique_ptr<vm::World> validator_world,
-       NodeConfig config);
+  /// Takes ownership of the genesis world; the validator's replica is
+  /// cloned from it internally. Throws std::invalid_argument when
+  /// `world` is null or the miner/validator configs disagree on lock
+  /// semantics.
+  Node(std::unique_ptr<vm::World> world, NodeConfig config);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   [[nodiscard]] Mempool& mempool() noexcept { return mempool_; }
+
+  /// The immutable genesis snapshot both stages were derived from — the
+  /// seam a depth-k validation ring (re-deriving a validator world after
+  /// a re-org) or mid-block read serving will hang off.
+  [[nodiscard]] const vm::WorldSnapshot& genesis_snapshot() const noexcept { return genesis_; }
 
   /// Processes the stream until the mempool closes and drains, max_blocks
   /// is reached, or a block is rejected. Call once; blocking. The mempool
@@ -129,7 +138,8 @@ class Node {
 
   NodeConfig config_;
   std::unique_ptr<vm::World> miner_world_;
-  std::unique_ptr<vm::World> validator_world_;
+  vm::WorldSnapshot genesis_;  ///< Frozen before the miner's world moves.
+  std::unique_ptr<vm::World> validator_world_;  ///< genesis_.materialize().
   Mempool mempool_;
   core::Miner miner_;
   core::Validator validator_;

@@ -3,6 +3,7 @@
 #include <concepts>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
@@ -135,6 +136,15 @@ class BoostedArray {
   }
 
   // --- Non-transactional access ----------------------------------------
+
+  /// Deep-copies `other`'s elements into this array (World::clone).
+  void clone_state_from(const BoostedArray& other) {
+    if (space_ != other.space_) {
+      throw std::logic_error("BoostedArray::clone_state_from: lock-space mismatch");
+    }
+    std::scoped_lock lk(mu_, other.mu_);
+    data_ = other.data_;
+  }
 
   void raw_push_back(T value) {
     std::scoped_lock lk(mu_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -96,6 +97,17 @@ class BoostedCounterMap {
   }
 
   // --- Non-transactional access (genesis state, tests, inspection) ----
+
+  /// Deep-copies `other`'s persistent state into this map (World::clone).
+  /// The zero-normalization invariant carries over with the copy, so the
+  /// clone's state root matches by construction.
+  void clone_state_from(const BoostedCounterMap& other) {
+    if (space_ != other.space_) {
+      throw std::logic_error("BoostedCounterMap::clone_state_from: lock-space mismatch");
+    }
+    std::scoped_lock lk(mu_, other.mu_);
+    data_ = other.data_;
+  }
 
   void raw_set(const K& key, Value value) {
     std::scoped_lock lk(mu_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -161,6 +162,17 @@ class BoostedMap {
   }
 
   // --- Non-transactional access (genesis state, tests, inspection) ----
+
+  /// Deep-copies `other`'s persistent state into this map (World::clone).
+  /// Both maps must have been built over the same lock space — cloned
+  /// state keeps its conflict structure by construction.
+  void clone_state_from(const BoostedMap& other) {
+    if (space_ != other.space_) {
+      throw std::logic_error("BoostedMap::clone_state_from: lock-space mismatch");
+    }
+    std::scoped_lock lk(mu_, other.mu_);
+    data_ = other.data_;
+  }
 
   void raw_put(const K& key, V value) {
     std::scoped_lock lk(mu_);

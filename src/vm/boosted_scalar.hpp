@@ -2,7 +2,9 @@
 
 #include <concepts>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
+#include <utility>
 
 #include "stm/lock_id.hpp"
 #include "stm/lock_mode.hpp"
@@ -82,6 +84,15 @@ class BoostedScalar {
   }
 
   // --- Non-transactional access ---------------------------------------
+
+  /// Deep-copies `other`'s value into this scalar (World::clone).
+  void clone_state_from(const BoostedScalar& other) {
+    if (space_ != other.space_) {
+      throw std::logic_error("BoostedScalar::clone_state_from: lock-space mismatch");
+    }
+    std::scoped_lock lk(mu_, other.mu_);
+    value_ = other.value_;
+  }
 
   [[nodiscard]] T raw_get() const {
     std::scoped_lock lk(mu_);

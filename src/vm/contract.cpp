@@ -22,6 +22,14 @@ Contract& ContractRegistry::at(const Address& address) const {
   return *contract;
 }
 
+ContractRegistry ContractRegistry::clone() const {
+  ContractRegistry copy;
+  for (const auto& [address, contract] : contracts_) {
+    copy.contracts_.emplace(address, contract->clone());
+  }
+  return copy;
+}
+
 void ContractRegistry::hash_state(StateHasher& hasher) const {
   hasher.begin_section("contracts");
   hasher.put_u64(contracts_.size());

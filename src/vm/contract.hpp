@@ -46,6 +46,14 @@ class Contract {
   /// Folds the contract's complete persistent state into `hasher`.
   virtual void hash_state(StateHasher& hasher) const = 0;
 
+  /// Deep-copies this contract — address, construction parameters, and
+  /// every boosted field's persistent state — into an independent
+  /// instance. Because lock spaces derive from (address, field name), a
+  /// clone reproduces the original's conflict structure exactly, and
+  /// hash_state() over the clone matches by construction. Called between
+  /// blocks only (no speculative action may be live in this contract).
+  [[nodiscard]] virtual std::unique_ptr<Contract> clone() const = 0;
+
  protected:
   /// Deterministic abstract-lock space for a state variable of this
   /// contract: miners and validators on different machines derive the
@@ -81,6 +89,9 @@ class ContractRegistry {
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return contracts_.size(); }
+
+  /// Deep-copies the registry: every contract cloned, same address set.
+  [[nodiscard]] ContractRegistry clone() const;
 
   /// Folds every contract's state, in address order.
   void hash_state(StateHasher& hasher) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -97,6 +98,22 @@ class LazyMap {
   }
 
   // --- Non-transactional access ----------------------------------------
+
+  /// Deep-copies `other`'s committed state into this map (World::clone).
+  /// Snapshots are taken at block boundaries, when no speculative action
+  /// is live — a lineage with a buffered overlay would make "the state"
+  /// ambiguous, so cloning a non-quiescent map throws.
+  void clone_state_from(const LazyMap& other) {
+    if (space_ != other.space_) {
+      throw std::logic_error("LazyMap::clone_state_from: lock-space mismatch");
+    }
+    std::scoped_lock lk(mu_, other.mu_);
+    if (!other.overlays_.empty()) {
+      throw std::logic_error("LazyMap::clone_state_from: live overlays (clone between blocks)");
+    }
+    data_ = other.data_;
+    overlays_.clear();
+  }
 
   void raw_put(const K& key, V value) {
     std::scoped_lock lk(mu_);

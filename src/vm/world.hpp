@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "util/sha256.hpp"
 #include "vm/boosted_counter_map.hpp"
 #include "vm/contract.hpp"
@@ -46,9 +48,53 @@ class World {
     return hasher.finish();
   }
 
+  /// Deep-copies the whole world — every contract and the native
+  /// balances — into an independent replica with an identical
+  /// state_root() by construction. Call between blocks only (no
+  /// speculative action may be live). This is how one genesis state
+  /// serves both pipeline stages: the miner mutates the original while
+  /// the validator replays against a clone, with no dual-construction
+  /// footgun to keep in sync.
+  [[nodiscard]] std::unique_ptr<World> clone() const {
+    auto copy = std::make_unique<World>();
+    copy->contracts_ = contracts_.clone();
+    copy->balances_.clone_state_from(balances_);
+    return copy;
+  }
+
  private:
   ContractRegistry contracts_;
   BoostedCounterMap<Address> balances_;
+};
+
+/// An immutable world state frozen at a block boundary: a clone taken at
+/// construction plus its state root. Copying the handle shares the frozen
+/// clone (cheap); materialize() mints a fresh mutable replica of it.
+///
+/// This is the seam deeper pipelining builds on: a depth-k validation
+/// ring keeps one snapshot per in-flight block to re-derive a validator
+/// world after a re-org, and mid-block read serving answers queries from
+/// the last snapshot while the miner's world is in flux.
+class WorldSnapshot {
+ public:
+  /// Freezes `world`'s current state. The original is untouched and may
+  /// keep advancing; the snapshot's root never changes.
+  explicit WorldSnapshot(const World& world)
+      : frozen_(world.clone()), root_(frozen_->state_root()) {}
+
+  /// The frozen state, for read-only serving.
+  [[nodiscard]] const World& world() const noexcept { return *frozen_; }
+
+  /// The state root at the moment the snapshot was taken.
+  [[nodiscard]] const util::Hash256& state_root() const noexcept { return root_; }
+
+  /// A fresh mutable world replica of the frozen state — how a validator
+  /// (or a re-org recovery path) gets a private copy to execute against.
+  [[nodiscard]] std::unique_ptr<World> materialize() const { return frozen_->clone(); }
+
+ private:
+  std::shared_ptr<const World> frozen_;
+  util::Hash256 root_;
 };
 
 }  // namespace concord::vm

@@ -80,8 +80,10 @@ struct StreamSpec {
 /// Builds the fixture for a block stream: the world in genesis state and
 /// blocks×txs_per_block transactions in deterministic stream order. A
 /// mempool batching at txs_per_block recreates the per-block workloads.
-/// Call twice with the same spec to get two worlds in identical genesis
-/// state — how a node's miner- and validator-side replicas are born.
+/// One build is enough for a whole node: anything that needs a second
+/// view of the same genesis clones it (`fixture.world->clone()` or a
+/// vm::WorldSnapshot) instead of rebuilding and hoping the two runs
+/// agree.
 [[nodiscard]] Fixture make_stream_fixture(const StreamSpec& spec);
 
 /// Number of transactions that should be generated as conflicting for a

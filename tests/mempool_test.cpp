@@ -81,6 +81,23 @@ TEST(Mempool, SubmitAfterCloseIsRejected) {
   EXPECT_EQ(pool.stats().rejected, 1u);
 }
 
+TEST(Mempool, SubmitManyCountsDroppedTailAsRejected) {
+  Mempool pool(BatchPolicy{.target_txs = 4});
+  pool.close();
+  // The first submit is refused (and counted) by submit(); the remaining
+  // four are dropped by submit_many and must be counted as rejected too.
+  EXPECT_EQ(pool.submit_many(make_stream(5)), 0u);
+  const MempoolStats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.rejected, 5u);
+}
+
+TEST(Mempool, SubmitManyOnOpenPoolRejectsNothing) {
+  Mempool pool(BatchPolicy{.target_txs = 4});
+  EXPECT_EQ(pool.submit_many(make_stream(5)), 5u);
+  EXPECT_EQ(pool.stats().rejected, 0u);
+}
+
 TEST(Mempool, StatsCountTraffic) {
   Mempool pool(BatchPolicy{.target_txs = 5});
   EXPECT_EQ(pool.submit_many(make_stream(12)), 12u);

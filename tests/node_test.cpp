@@ -36,12 +36,18 @@ NodeConfig fast_node(const StreamSpec& spec) {
   return config;
 }
 
-/// Builds a node over two fresh replicas of the stream's genesis world.
-std::unique_ptr<Node> make_node(const StreamSpec& spec, NodeConfig config) {
-  auto miner_side = make_stream_fixture(spec);
-  auto validator_side = make_stream_fixture(spec);
-  return std::make_unique<Node>(std::move(miner_side.world), std::move(validator_side.world),
-                                config);
+/// A node plus the transaction stream born from the SAME fixture build:
+/// one genesis world (the node clones the validator replica itself), one
+/// stream — nothing is rebuilt and re-matched by hand.
+struct NodeUnderTest {
+  std::unique_ptr<Node> node;
+  std::vector<chain::Transaction> stream;
+};
+
+NodeUnderTest make_node(const StreamSpec& spec, NodeConfig config) {
+  auto fixture = make_stream_fixture(spec);
+  auto stream = std::move(fixture.transactions);
+  return {std::make_unique<Node>(std::move(fixture.world), config), std::move(stream)};
 }
 
 /// Runs `node` over the stream with a concurrent producer; expects clean
@@ -59,13 +65,13 @@ void drive(Node& node, std::vector<chain::Transaction> stream) {
 /// one block fully finished before the next begins.
 chain::Blockchain sequential_reference(const StreamSpec& spec) {
   auto mine_side = make_stream_fixture(spec);
-  auto validate_side = make_stream_fixture(spec);
+  auto validate_world = mine_side.world->clone();  // One genesis, two views.
   core::MinerConfig miner_config;
   miner_config.nanos_per_gas = 0.0;
   core::ValidatorConfig validator_config;
   validator_config.nanos_per_gas = 0.0;
   core::Miner miner(*mine_side.world, miner_config);
-  core::Validator validator(*validate_side.world, validator_config);
+  core::Validator validator(*validate_world, validator_config);
 
   chain::Blockchain chain(mine_side.world->state_root());
   const auto& stream = mine_side.transactions;
@@ -96,8 +102,8 @@ TEST_P(PipelineDeterminism, PipelinedChainIsByteIdenticalToSequentialLoop) {
   NodeConfig config = fast_node(spec);
   config.pipelined = true;
   config.mining = MiningMode::kSerial;
-  auto node = make_node(spec, config);
-  drive(*node, make_stream_fixture(spec).transactions);
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
 
   ASSERT_TRUE(node->ok());
   const chain::Blockchain& pipelined = node->chain();
@@ -121,14 +127,14 @@ TEST_P(PipelineDeterminism, SequentialNodeMatchesPipelinedNode) {
   NodeConfig pipelined_config = fast_node(spec);
   pipelined_config.pipelined = true;
   pipelined_config.mining = MiningMode::kSerial;
-  auto pipelined = make_node(spec, pipelined_config);
-  drive(*pipelined, make_stream_fixture(spec).transactions);
+  auto [pipelined, pipelined_stream] = make_node(spec, pipelined_config);
+  drive(*pipelined, std::move(pipelined_stream));
 
   NodeConfig sequential_config = fast_node(spec);
   sequential_config.pipelined = false;
   sequential_config.mining = MiningMode::kSerial;
-  auto sequential = make_node(spec, sequential_config);
-  drive(*sequential, make_stream_fixture(spec).transactions);
+  auto [sequential, sequential_stream] = make_node(spec, sequential_config);
+  drive(*sequential, std::move(sequential_stream));
 
   ASSERT_TRUE(pipelined->ok());
   ASSERT_TRUE(sequential->ok());
@@ -157,8 +163,8 @@ TEST(NodePipeline, SpeculativeStreamFullyValidated) {
   config.pipelined = true;
   config.mining = MiningMode::kSpeculative;
   config.mempool_capacity = 2 * spec.txs_per_block;  // Exercise backpressure too.
-  auto node = make_node(spec, config);
-  drive(*node, make_stream_fixture(spec).transactions);
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
 
   ASSERT_TRUE(node->ok()) << core::to_string(node->failure().reason);
   EXPECT_EQ(node->chain().height(), spec.blocks);
@@ -180,10 +186,9 @@ TEST(NodePipeline, ShortFinalBatchDrainsOnClose) {
   const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, /*blocks=*/3, /*txs_per_block=*/20,
                                       /*conflict=*/0);
   NodeConfig config = fast_node(spec);
-  auto node = make_node(spec, config);
+  auto [node, stream] = make_node(spec, config);
 
   // 47 transactions at target 20: blocks of 20, 20, then 7 on close.
-  auto stream = make_stream_fixture(spec).transactions;
   stream.resize(47);
   drive(*node, std::move(stream));
 
@@ -199,8 +204,8 @@ TEST(NodePipeline, MaxBlocksStopsTheStream) {
                                       /*txs_per_block=*/15, /*conflict=*/10);
   NodeConfig config = fast_node(spec);
   config.max_blocks = 4;
-  auto node = make_node(spec, config);
-  drive(*node, make_stream_fixture(spec).transactions);
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
 
   ASSERT_TRUE(node->ok());
   EXPECT_EQ(node->chain().height(), 4u);
@@ -210,7 +215,7 @@ TEST(NodePipeline, MaxBlocksStopsTheStream) {
 
 TEST(NodePipeline, RunTwiceThrows) {
   const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 1, 5, 0);
-  auto node = make_node(spec, fast_node(spec));
+  auto node = make_node(spec, fast_node(spec)).node;
   node->mempool().close();
   node->run();
   EXPECT_THROW(node->run(), std::logic_error);
@@ -218,24 +223,44 @@ TEST(NodePipeline, RunTwiceThrows) {
 
 // ------------------------------------------------ Construction guards ---
 
-TEST(NodeConstruction, RejectsMismatchedGenesisWorlds) {
-  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 2, 10, 0);
-  StreamSpec other = spec;
-  other.kind = BenchmarkKind::kEtherDoc;  // Different contracts ⇒ different genesis root.
-  auto miner_side = make_stream_fixture(spec);
-  auto validator_side = make_stream_fixture(other);
-  EXPECT_THROW(Node(std::move(miner_side.world), std::move(validator_side.world), NodeConfig{}),
-               std::invalid_argument);
+TEST(NodeConstruction, RejectsNullWorld) {
+  EXPECT_THROW(Node(nullptr, NodeConfig{}), std::invalid_argument);
 }
 
 TEST(NodeConstruction, RejectsLockSemanticsDisagreement) {
   const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 2, 10, 0);
-  auto miner_side = make_stream_fixture(spec);
-  auto validator_side = make_stream_fixture(spec);
   NodeConfig config;
   config.miner.exclusive_locks_only = true;
-  EXPECT_THROW(Node(std::move(miner_side.world), std::move(validator_side.world), config),
-               std::invalid_argument);
+  EXPECT_THROW(Node(make_stream_fixture(spec).world, config), std::invalid_argument);
+  // The guard must fire even before a world could be cloned.
+  EXPECT_THROW(Node(nullptr, config), std::invalid_argument);
+}
+
+// ------------------------------------------------- Genesis snapshot ---
+
+/// The snapshot seam: frozen at construction, root-identical to the
+/// chain's genesis, and still frozen after the miner's world has moved
+/// twenty blocks past it.
+TEST(NodeGenesisSnapshot, StaysFrozenWhileTheChainAdvances) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/4, /*txs_per_block=*/20,
+                                      /*conflict=*/15);
+  auto fixture = make_stream_fixture(spec);
+  const auto genesis_root = fixture.world->state_root();
+
+  auto node = std::make_unique<Node>(std::move(fixture.world), fast_node(spec));
+  EXPECT_EQ(node->genesis_snapshot().state_root(), genesis_root);
+  EXPECT_EQ(node->chain().at(0).header.state_root, genesis_root);
+
+  drive(*node, std::move(fixture.transactions));
+  ASSERT_TRUE(node->ok());
+  ASSERT_EQ(node->chain().height(), spec.blocks);
+
+  // The chain moved; the snapshot did not — and it can still mint fresh
+  // replicas of genesis (the depth-k re-org recovery path).
+  EXPECT_NE(node->chain().tip().header.state_root, genesis_root);
+  EXPECT_EQ(node->genesis_snapshot().state_root(), genesis_root);
+  EXPECT_EQ(node->genesis_snapshot().world().state_root(), genesis_root);
+  EXPECT_EQ(node->genesis_snapshot().materialize()->state_root(), genesis_root);
 }
 
 }  // namespace

@@ -464,6 +464,35 @@ TEST(LockTable, ResetShrinksPastThreshold) {
   EXPECT_EQ(table.high_water(), 16u);
 }
 
+TEST(LockTable, ResetAtExactThresholdRecyclesNotDrops) {
+  LockTable table;
+  for (std::uint64_t i = 0; i < 8; ++i) (void)table.get(LockId{1, i});
+  AbstractLock& before = table.get(LockId{1, 0});
+  // The fallback is strictly-greater-than: a table sitting exactly at the
+  // threshold is still recycled in place…
+  table.reset(/*shrink_threshold=*/8);
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_EQ(&table.get(LockId{1, 0}), &before);
+  // …and one lock past it is dropped wholesale.
+  (void)table.get(LockId{1, 8});
+  table.reset(/*shrink_threshold=*/8);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LockTable, HighWaterOutlivesDropAndLaterRecycles) {
+  LockTable table;
+  for (std::uint64_t i = 0; i < 16; ++i) (void)table.get(LockId{1, i});
+  table.reset(/*shrink_threshold=*/8);  // Wholesale drop at high water 16.
+  ASSERT_EQ(table.size(), 0u);
+
+  // Regrow below the old peak; recycling resets must keep reporting the
+  // lifetime peak, not the post-drop working set.
+  for (std::uint64_t i = 0; i < 4; ++i) (void)table.get(LockId{2, i});
+  table.reset(/*shrink_threshold=*/8);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.high_water(), 16u);
+}
+
 // ------------------------------------------- Parallel stress (smoke) ---
 
 TEST(StmStress, ManyThreadsDisjointLocksAllCommit) {

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contracts/ballot.hpp"
+#include "contracts/etherdoc.hpp"
+#include "contracts/kv_store.hpp"
+#include "contracts/payment_splitter.hpp"
+#include "contracts/simple_auction.hpp"
+#include "contracts/token.hpp"
+#include "core/miner.hpp"
+#include "vm/world.hpp"
+#include "workload/workload.hpp"
+
+namespace concord::vm {
+namespace {
+
+Address addr(std::uint64_t n, std::uint8_t salt) { return Address::from_u64(n, salt); }
+
+const Address kBallotAddr = addr(1, 0xCC);
+const Address kAuctionAddr = addr(2, 0xCC);
+const Address kEtherDocAddr = addr(3, 0xCC);
+const Address kTokenAddr = addr(4, 0xCC);
+const Address kSplitterAddr = addr(5, 0xCC);
+const Address kEagerKvAddr = addr(6, 0xCC);
+const Address kLazyKvAddr = addr(7, 0xCC);
+
+/// One world holding every contract the repository ships — both KvStore
+/// backends included — with non-trivial state in every boosted field
+/// kind (map, counter map, scalar, lazy map) plus native balances.
+std::unique_ptr<World> make_six_contract_world() {
+  auto world = std::make_unique<World>();
+
+  auto ballot = std::make_unique<contracts::Ballot>(
+      kBallotAddr, addr(1, 0x04), std::vector<std::string>{"alpha", "beta"});
+  ballot->raw_register_voter(addr(7, 0x01), 3);
+  world->contracts().add(std::move(ballot));
+
+  auto auction = std::make_unique<contracts::SimpleAuction>(kAuctionAddr, addr(2, 0x04));
+  auction->raw_set_highest(addr(8, 0x02), 500);
+  auction->raw_add_pending(addr(9, 0x02), 120);
+  world->contracts().add(std::move(auction));
+
+  auto etherdoc = std::make_unique<contracts::EtherDoc>(kEtherDocAddr, addr(3, 0x04));
+  etherdoc->raw_add_document(42, addr(10, 0x03));
+  world->contracts().add(std::move(etherdoc));
+
+  auto token = std::make_unique<contracts::Token>(kTokenAddr, "CNC", addr(4, 0x04));
+  token->raw_mint(addr(11, 0x05), 1'000);
+  world->contracts().add(std::move(token));
+
+  world->contracts().add(std::make_unique<contracts::PaymentSplitter>(
+      kSplitterAddr, kTokenAddr, std::vector<Address>{addr(11, 0x05), addr(12, 0x05)}));
+
+  auto eager = std::make_unique<contracts::KvStore>(kEagerKvAddr,
+                                                    contracts::KvStore::Backend::kEager);
+  eager->raw_put(1, 11);
+  world->contracts().add(std::move(eager));
+
+  auto lazy_kv = std::make_unique<contracts::KvStore>(kLazyKvAddr,
+                                                      contracts::KvStore::Backend::kLazy);
+  lazy_kv->raw_put(2, 22);
+  world->contracts().add(std::move(lazy_kv));
+
+  world->balances().raw_set(addr(20, 0x06), 9'000);
+  return world;
+}
+
+// -------------------------------------------------------- World::clone ---
+
+TEST(WorldClone, RoundTripsStateRootForAllSixContracts) {
+  const auto world = make_six_contract_world();
+  const auto copy = world->clone();
+  EXPECT_EQ(copy->state_root(), world->state_root());
+  EXPECT_EQ(copy->contracts().size(), world->contracts().size());
+  // The clone resolves the same typed contracts at the same addresses.
+  EXPECT_EQ(copy->contracts().as<contracts::Token>(kTokenAddr).raw_balance(addr(11, 0x05)),
+            1'000);
+  EXPECT_EQ(copy->contracts().as<contracts::KvStore>(kLazyKvAddr).raw_get(2), 22);
+}
+
+TEST(WorldClone, CloneIsIndependentInBothDirections) {
+  const auto world = make_six_contract_world();
+  const auto original_root = world->state_root();
+  const auto copy = world->clone();
+
+  // Mutating the clone leaves the original frozen…
+  copy->contracts().as<contracts::Token>(kTokenAddr).raw_mint(addr(13, 0x05), 5);
+  EXPECT_NE(copy->state_root(), original_root);
+  EXPECT_EQ(world->state_root(), original_root);
+
+  // …and mutating the original leaves the clone untouched.
+  const auto copy_root = copy->state_root();
+  world->balances().raw_set(addr(21, 0x06), 1);
+  EXPECT_EQ(copy->state_root(), copy_root);
+}
+
+class WorldCloneWorkloads : public ::testing::TestWithParam<workload::BenchmarkKind> {};
+
+TEST_P(WorldCloneWorkloads, RoundTripsGenesisStateRoot) {
+  workload::WorkloadSpec spec;
+  spec.kind = GetParam();
+  spec.transactions = 60;
+  spec.conflict_percent = 20;
+  const auto fixture = workload::make_fixture(spec);
+  EXPECT_EQ(fixture.world->clone()->state_root(), fixture.world->state_root());
+}
+
+/// Clones are taken at block boundaries in the node, so the root must
+/// round-trip from post-block state too — not just pristine genesis.
+TEST_P(WorldCloneWorkloads, RoundTripsPostBlockStateRoot) {
+  workload::WorkloadSpec spec;
+  spec.kind = GetParam();
+  spec.transactions = 40;
+  spec.conflict_percent = 25;
+  const auto fixture = workload::make_fixture(spec);
+  core::MinerConfig config;
+  config.nanos_per_gas = 0.0;
+  core::Miner miner(*fixture.world, config);
+  const chain::Block block = miner.mine_serial(fixture.transactions, fixture.genesis());
+
+  const auto copy = fixture.world->clone();
+  EXPECT_EQ(copy->state_root(), fixture.world->state_root());
+  EXPECT_EQ(copy->state_root(), block.header.state_root);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorldCloneWorkloads,
+                         ::testing::ValuesIn(workload::kAllBenchmarks),
+                         [](const auto& info) {
+                           return std::string(workload::to_string(info.param));
+                         });
+
+// ------------------------------------------------------- WorldSnapshot ---
+
+TEST(WorldSnapshotHandle, StaysFrozenWhileTheSourceMutates) {
+  auto world = make_six_contract_world();
+  const WorldSnapshot snapshot(*world);
+  const auto frozen_root = snapshot.state_root();
+  EXPECT_EQ(frozen_root, world->state_root());
+
+  world->balances().raw_set(addr(20, 0x06), 1);
+  EXPECT_NE(world->state_root(), frozen_root);
+  EXPECT_EQ(snapshot.state_root(), frozen_root);
+  EXPECT_EQ(snapshot.world().state_root(), frozen_root);
+}
+
+TEST(WorldSnapshotHandle, MaterializeMintsIndependentReplicas) {
+  const auto world = make_six_contract_world();
+  const WorldSnapshot snapshot(*world);
+  const WorldSnapshot handle = snapshot;  // Copies share the frozen state.
+  EXPECT_EQ(handle.state_root(), snapshot.state_root());
+
+  const auto replica = handle.materialize();
+  EXPECT_EQ(replica->state_root(), snapshot.state_root());
+  replica->balances().raw_set(addr(22, 0x06), 7);
+  EXPECT_NE(replica->state_root(), snapshot.state_root());
+  EXPECT_EQ(snapshot.world().state_root(), handle.state_root());
+}
+
+}  // namespace
+}  // namespace concord::vm
