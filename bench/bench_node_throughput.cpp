@@ -1,12 +1,15 @@
 // Sustained node throughput: a stream of blocks through the full
 // mempool → miner → validator pipeline, pipelined (validation of block N
-// overlapped with mining of block N+1) versus the unpipelined
-// mine-then-validate baseline on the identical transaction stream. This
-// is the regime the one-shot figure benches can't see — and the regime
-// follow-on frameworks (OptSmart et al.) evaluate.
+// overlapped with mining of N+1..N+k through the depth-k handoff ring)
+// versus the unpipelined mine-then-validate baseline on the identical
+// transaction stream. This is the regime the one-shot figure benches
+// can't see — and the regime follow-on frameworks (OptSmart et al.)
+// evaluate. The --pipeline-depth sweep puts ring depth into the
+// committed throughput trajectory.
 //
 // Usage: bench_node_throughput [--quick] [--samples=N] [--threads=N]
-//                              [--blocks=N] [--block-txs=N] [--json=FILE] ...
+//                              [--blocks=N] [--block-txs=N]
+//                              [--pipeline-depth=1,2,4] [--json=FILE] ...
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,9 +38,10 @@ struct ModeResult {
 
 /// One full stream run: one genesis world (the node clones the
 /// validator's replica itself), a producer thread feeding the mempool,
-/// the node driving both stages to drain.
+/// the node driving both stages to drain. `pipeline_depth` is the
+/// handoff ring's capacity; ignored by the sequential baseline.
 node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunConfig& config,
-                           bool pipelined) {
+                           bool pipelined, std::size_t pipeline_depth) {
   workload::Fixture fixture = workload::make_stream_fixture(spec);
   std::vector<chain::Transaction> stream = std::move(fixture.transactions);
 
@@ -51,6 +55,7 @@ node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunCon
   node_config.batch.target_txs = spec.txs_per_block;
   node_config.mempool_capacity = 4 * spec.txs_per_block;  // Realistic backpressure.
   node_config.pipelined = pipelined;
+  node_config.pipeline_depth = pipeline_depth;
   node_config.mining = node::MiningMode::kSpeculative;
 
   node::Node node(std::move(fixture.world), node_config);
@@ -68,11 +73,11 @@ node::NodeStats run_stream(const workload::StreamSpec& spec, const bench::RunCon
 }
 
 ModeResult measure_mode(const workload::StreamSpec& spec, const bench::RunConfig& config,
-                        bool pipelined) {
+                        bool pipelined, std::size_t pipeline_depth) {
   ModeResult result;
   std::vector<double> runs;
   for (int r = 0; r < config.warmups + config.samples; ++r) {
-    const node::NodeStats stats = run_stream(spec, config, pipelined);
+    const node::NodeStats stats = run_stream(spec, config, pipelined, pipeline_depth);
     if (r >= config.warmups) runs.push_back(stats.wall_ms);
     result.last = stats;
   }
@@ -80,8 +85,12 @@ ModeResult measure_mode(const workload::StreamSpec& spec, const bench::RunConfig
   return result;
 }
 
+/// `pipeline_depth` is recorded for every point (1 for the unpipelined
+/// baseline, which has no ring) so the trajectory consumer can key
+/// points by (benchmark, pipelined, depth) across commits — older files
+/// without the field read as depth 1.
 void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pipelined,
-               double overlap_speedup) {
+               std::size_t pipeline_depth, double overlap_speedup) {
   std::ostringstream object;
   object << "{\"benchmark\": \"NodeStream/" << bench::json_escape(workload::to_string(spec.kind))
          << "\""
@@ -90,19 +99,35 @@ void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pi
          << ", \"transactions\": " << mode.last.transactions
          << ", \"conflict_percent\": " << spec.conflict_percent
          << ", \"pipelined\": " << (pipelined ? "true" : "false")
+         << ", \"pipeline_depth\": " << pipeline_depth
          << ", \"wall_ms\": " << mode.wall.mean_ms
          << ", \"wall_stddev_ms\": " << mode.wall.stddev_ms
          << ", \"sustained_tx_per_sec\": " << mode.tx_per_sec()
          << ", \"blocks_per_sec\": " << mode.last.blocks_per_sec()
          << ", \"mine_ms\": " << mode.last.mine_ms
          << ", \"validate_ms\": " << mode.last.validate_ms
+         << ", \"snapshot_ms\": " << mode.last.snapshot_ms
          << ", \"mempool_wait_ms\": " << mode.last.mempool_wait_ms
          << ", \"handoff_wait_ms\": " << mode.last.handoff_wait_ms
          << ", \"validator_stall_ms\": " << mode.last.validator_stall_ms
+         << ", \"ring_high_water\": " << mode.last.ring_high_water
          << ", \"conflict_aborts\": " << mode.last.conflict_aborts
          << ", \"lock_table_high_water\": " << mode.last.lock_table_high_water
          << ", \"overlap_speedup\": " << overlap_speedup << "}";
   bench::write_json_object(object.str());
+}
+
+std::vector<std::size_t> parse_depths(std::string_view csv) {
+  std::vector<std::size_t> depths;
+  while (!csv.empty()) {
+    char* end = nullptr;
+    const unsigned long depth = std::strtoul(csv.data(), &end, 10);
+    if (end == csv.data() || depth == 0) return {};  // Signal a usage error.
+    depths.push_back(depth);
+    csv.remove_prefix(static_cast<std::size_t>(end - csv.data()));
+    if (!csv.empty() && csv.front() == ',') csv.remove_prefix(1);
+  }
+  return depths;
 }
 
 }  // namespace
@@ -114,17 +139,23 @@ int main(int argc, char** argv) {
   base.blocks = config.quick ? 8 : 20;
   base.txs_per_block = config.quick ? 50 : 150;
   base.conflict_percent = 15;
+  std::vector<std::size_t> depths{1, 2, 4};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--blocks=")) base.blocks = std::strtoul(arg.data() + 9, nullptr, 10);
     if (arg.starts_with("--block-txs=")) {
       base.txs_per_block = std::strtoul(arg.data() + 12, nullptr, 10);
     }
+    if (arg.starts_with("--pipeline-depth=")) {
+      depths = parse_depths(arg.substr(17));
+    }
   }
-  if (base.blocks == 0 || base.txs_per_block == 0) {
+  if (base.blocks == 0 || base.txs_per_block == 0 || depths.empty()) {
     // A typo'd flag must not record a degenerate zero-throughput point
     // into the committed trajectory files.
-    std::fprintf(stderr, "bench_node_throughput: --blocks/--block-txs must be positive integers\n");
+    std::fprintf(stderr,
+                 "bench_node_throughput: --blocks/--block-txs must be positive integers and "
+                 "--pipeline-depth a comma list of positive depths\n");
     return 2;
   }
 
@@ -137,28 +168,31 @@ int main(int argc, char** argv) {
         "      so pipeline overlap can only beat the sequential baseline on parallel hardware\n",
         hw, config.threads);
   }
-  std::printf("# %-14s %10s %14s %14s %9s %12s %12s %12s\n", "benchmark", "blocks",
+  std::printf("# %-14s %6s %10s %14s %14s %9s %12s %12s %12s\n", "benchmark", "depth", "blocks",
               "seq_tx/s", "pipe_tx/s", "overlap", "mine_ms", "validate_ms", "stall_ms");
 
   for (const workload::BenchmarkKind kind : workload::kAllBenchmarks) {
     workload::StreamSpec spec = base;
     spec.kind = kind;
 
-    const ModeResult sequential = measure_mode(spec, config, /*pipelined=*/false);
-    const ModeResult pipelined = measure_mode(spec, config, /*pipelined=*/true);
-    const double overlap =
-        pipelined.wall.mean_ms > 0 ? sequential.wall.mean_ms / pipelined.wall.mean_ms : 0.0;
+    const ModeResult sequential = measure_mode(spec, config, /*pipelined=*/false, 1);
+    emit_json(spec, sequential, /*pipelined=*/false, 1, 1.0);
 
-    std::printf("%-16s %10llu %14.0f %14.0f %8.2fx %12.1f %12.1f %12.1f\n",
-                std::string(workload::to_string(kind)).c_str(),
-                static_cast<unsigned long long>(pipelined.last.blocks), sequential.tx_per_sec(),
-                pipelined.tx_per_sec(), overlap, pipelined.last.mine_ms,
-                pipelined.last.validate_ms,
-                pipelined.last.handoff_wait_ms + pipelined.last.validator_stall_ms);
-    std::fflush(stdout);
+    for (const std::size_t depth : depths) {
+      const ModeResult pipelined = measure_mode(spec, config, /*pipelined=*/true, depth);
+      const double overlap =
+          pipelined.wall.mean_ms > 0 ? sequential.wall.mean_ms / pipelined.wall.mean_ms : 0.0;
 
-    emit_json(spec, sequential, /*pipelined=*/false, 1.0);
-    emit_json(spec, pipelined, /*pipelined=*/true, overlap);
+      std::printf("%-16s %6zu %10llu %14.0f %14.0f %8.2fx %12.1f %12.1f %12.1f\n",
+                  std::string(workload::to_string(kind)).c_str(), depth,
+                  static_cast<unsigned long long>(pipelined.last.blocks), sequential.tx_per_sec(),
+                  pipelined.tx_per_sec(), overlap, pipelined.last.mine_ms,
+                  pipelined.last.validate_ms,
+                  pipelined.last.handoff_wait_ms + pipelined.last.validator_stall_ms);
+      std::fflush(stdout);
+
+      emit_json(spec, pipelined, /*pipelined=*/true, depth, overlap);
+    }
   }
   return 0;
 }

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Trajectory consumer: diff sustained_tx_per_sec across the committed
+bench/trajectory/BENCH_*.json files and fail on a regression.
+
+Each trajectory file (written by record_trajectory.sh) wraps one
+bench_node_throughput run: {commit, date, hardware_threads,
+node_throughput: [points...]}. Points are keyed by
+(benchmark, pipelined, pipeline_depth); files that predate the depth-k
+ring carry no pipeline_depth field and read as depth 1.
+
+The gate compares the NEWEST file against its predecessor only — older
+transitions are history (they were green when committed, and a
+retroactively-red gate would block every future PR). A >--threshold drop
+in sustained_tx_per_sec on any shared key fails with exit 1. Files
+measured on different hardware_threads counts are not comparable
+(pipeline overlap needs cores); the gate warns and passes instead of
+guessing. The full history table is always printed.
+
+usage: check_trajectory.py [--threshold=0.15] [trajectory-dir]
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load_points(path):
+    """-> (meta dict, {key: sustained_tx_per_sec})."""
+    data = json.loads(path.read_text())
+    points = {}
+    for point in data.get("node_throughput") or []:
+        key = (
+            point.get("benchmark", "?"),
+            bool(point.get("pipelined")),
+            int(point.get("pipeline_depth", 1)),
+        )
+        points[key] = float(point.get("sustained_tx_per_sec", 0.0))
+    return data, points
+
+
+def fmt_key(key):
+    benchmark, pipelined, depth = key
+    mode = f"pipelined k={depth}" if pipelined else "sequential"
+    return f"{benchmark} [{mode}]"
+
+
+def main(argv):
+    threshold = 0.15
+    trajectory_dir = pathlib.Path(__file__).resolve().parent / "trajectory"
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            trajectory_dir = pathlib.Path(arg)
+
+    files = sorted(trajectory_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"check_trajectory: no BENCH_*.json under {trajectory_dir}; nothing to check")
+        return 0
+
+    loaded = []
+    for path in files:
+        try:
+            meta, points = load_points(path)
+        except (json.JSONDecodeError, ValueError) as err:
+            print(f"check_trajectory: FAIL — {path.name} is unreadable: {err}")
+            return 1
+        loaded.append((path.name, meta, points))
+    # Chronology comes from the recorded date, not the filename (commit
+    # hashes don't sort by time).
+    loaded.sort(key=lambda item: item[1].get("date", ""))
+
+    print(f"check_trajectory: {len(loaded)} trajectory file(s), threshold {threshold:.0%}")
+    for name, meta, points in loaded:
+        line = ", ".join(
+            f"{fmt_key(key)}: {tx_per_sec:.0f} tx/s" for key, tx_per_sec in sorted(points.items())
+        )
+        print(f"  {meta.get('date', '?')} {name} (hw={meta.get('hardware_threads', '?')}): {line}")
+
+    if len(loaded) < 2:
+        print("check_trajectory: single data point — no transition to gate")
+        return 0
+
+    (prev_name, prev_meta, prev_points) = loaded[-2]
+    (cur_name, cur_meta, cur_points) = loaded[-1]
+
+    if prev_meta.get("hardware_threads") != cur_meta.get("hardware_threads"):
+        print(
+            f"check_trajectory: SKIP — {prev_name} (hw={prev_meta.get('hardware_threads')}) and "
+            f"{cur_name} (hw={cur_meta.get('hardware_threads')}) ran on different hardware; "
+            "sustained throughput is not comparable across core counts"
+        )
+        return 0
+
+    shared = sorted(set(prev_points) & set(cur_points))
+    if not shared:
+        print(f"check_trajectory: SKIP — {prev_name} and {cur_name} share no benchmark keys")
+        return 0
+
+    regressions = []
+    for key in shared:
+        prev_tx, cur_tx = prev_points[key], cur_points[key]
+        if prev_tx <= 0:
+            continue
+        delta = (cur_tx - prev_tx) / prev_tx
+        marker = ""
+        if delta < -threshold:
+            marker = "  << REGRESSION"
+            regressions.append((key, prev_tx, cur_tx, delta))
+        print(f"  {fmt_key(key)}: {prev_tx:.0f} -> {cur_tx:.0f} tx/s ({delta:+.1%}){marker}")
+
+    if regressions:
+        print(
+            f"check_trajectory: FAIL — {len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%} between {prev_name} and {cur_name}"
+        )
+        return 1
+    print(f"check_trajectory: OK — no regression beyond {threshold:.0%} in {cur_name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

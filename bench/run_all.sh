@@ -47,10 +47,18 @@ if [[ -x "$BIN_DIR/bench_stm_micro" ]]; then
 fi
 
 # Cross-PR sustained-throughput record: wrap the node-throughput points
-# (they carry sustained_tx_per_sec) into bench/trajectory/BENCH_<commit>.json.
+# (they carry sustained_tx_per_sec) into bench/trajectory/BENCH_<commit>.json,
+# then gate on the trajectory — a >15% sustained_tx_per_sec drop against
+# the previous recorded commit fails the run (the ROADMAP's trajectory
+# consumer). Cross-hardware transitions are skipped, not guessed at.
 if [[ -s "$OUT_DIR/bench_node_throughput.json" ]] \
     && grep -q '{' "$OUT_DIR/bench_node_throughput.json"; then
   bench/record_trajectory.sh "$OUT_DIR/bench_node_throughput.json" "$OUT_DIR"
+  if command -v python3 >/dev/null; then
+    python3 bench/check_trajectory.py
+  else
+    echo "note: python3 unavailable; skipping trajectory regression check"
+  fi
 fi
 
 echo "JSON results in $OUT_DIR/"

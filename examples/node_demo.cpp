@@ -1,13 +1,19 @@
-// Node demo: the continuously-running subsystem end to end. A producer
-// thread feeds a stream of Mixed-workload transactions into the mempool;
-// the node cuts block-sized batches, mines each speculatively (Algorithm
-// 1) and — pipelined — validates block N (Algorithm 2) while block N+1 is
-// already being mined against the miner's post-N world. Prints the chain
-// and the per-stage sustained-throughput numbers.
+// Node demo: the continuously-running subsystem end to end, re-org
+// included. A producer thread feeds a stream of Mixed-workload
+// transactions into the mempool; the node cuts block-sized batches,
+// mines each speculatively (Algorithm 1) and validates through a
+// depth-3 handoff ring — while the validator replays block N (Algorithm
+// 2), the miner is already up to three blocks ahead against its own
+// unvalidated output. Midway through, an injected fault corrupts one
+// block's published state root: the validator rejects it, the
+// speculative suffix is aborted out of the ring, both stages
+// re-materialize from the last accepted boundary snapshot, and the node
+// keeps mining — rejection is a recoverable event, not a crash.
 //
 // Build & run:  ./build/examples/node_demo
 
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "node/node.hpp"
@@ -32,6 +38,17 @@ int main() {
   config.batch.target_txs = spec.txs_per_block;
   config.mempool_capacity = 2 * spec.txs_per_block;  // Producer backpressure.
   config.pipelined = true;
+  config.pipeline_depth = 3;  // Mining may run 3 blocks ahead of validation.
+  // The chaos seam: corrupt the FIRST block mined as number 5. Its
+  // rejection dooms whatever the miner speculated on top; the node
+  // recovers from the pre-5 boundary snapshot and mines on.
+  config.post_mine_hook = [fired = std::make_shared<bool>(false)](chain::Block& block) {
+    if (!*fired && block.header.number == 5) {
+      *fired = true;
+      std::printf("chaos: corrupting the state root of mined block #5\n");
+      block.header.state_root.bytes[0] ^= 0xff;
+    }
+  };
 
   node::Node node(std::move(fixture.world), config);
 
@@ -44,13 +61,6 @@ int main() {
 
   node.run();
 
-  if (!node.ok()) {
-    std::printf("NODE STOPPED: %s (%s)\n",
-                std::string(core::to_string(node.failure().reason)).c_str(),
-                node.failure().detail.c_str());
-    return 1;
-  }
-
   const chain::Blockchain& chain = node.chain();
   const bool links_ok = chain.verify_links();
   for (std::uint64_t n = 1; n <= chain.height(); ++n) {
@@ -61,18 +71,36 @@ int main() {
   }
 
   const node::NodeStats& stats = node.stats();
-  std::printf("\nchain height %llu, links verified: %s\n",
+  if (!node.ok()) {
+    std::printf("\nrejection observed: %s (%s) — recovered, node kept running\n",
+                std::string(core::to_string(node.failure().reason)).c_str(),
+                node.failure().detail.c_str());
+  }
+  std::printf("chain height %llu, links verified: %s\n",
               static_cast<unsigned long long>(chain.height()), links_ok ? "yes" : "NO");
   std::printf("sustained: %.0f tx/s, %.2f blocks/s over %.1f ms wall\n", stats.tx_per_sec(),
               stats.blocks_per_sec(), stats.wall_ms);
-  std::printf("stages: mine %.1f ms, validate %.1f ms (overlapped)\n", stats.mine_ms,
-              stats.validate_ms);
+  std::printf("stages: mine %.1f ms, validate %.1f ms (overlapped), snapshots %.1f ms\n",
+              stats.mine_ms, stats.validate_ms, stats.snapshot_ms);
   std::printf("stalls: mempool %.1f ms, handoff %.1f ms, validator %.1f ms\n",
               stats.mempool_wait_ms, stats.handoff_wait_ms, stats.validator_stall_ms);
+  std::printf("ring: depth %zu, high water %zu in flight\n", config.pipeline_depth,
+              stats.ring_high_water);
+  std::printf("re-org: %llu rejected, %llu speculative blocks aborted, %llu txs dropped, "
+              "%llu recoveries in %.1f ms\n",
+              static_cast<unsigned long long>(stats.rejected_blocks),
+              static_cast<unsigned long long>(stats.aborted_blocks),
+              static_cast<unsigned long long>(stats.dropped_transactions),
+              static_cast<unsigned long long>(stats.recoveries), stats.recovery_ms);
   std::printf("speculation: %llu attempts, %llu conflict aborts, lock-table high water %zu\n",
               static_cast<unsigned long long>(stats.attempts),
               static_cast<unsigned long long>(stats.conflict_aborts),
               stats.lock_table_high_water);
-  // The smoke-test contract: exit 0 means the chain is actually linked.
-  return links_ok ? 0 : 1;
+
+  // The smoke-test contract: exit 0 means the chain is linked AND the
+  // injected rejection was recovered from (not fatal, accounting closed).
+  const bool recovered = stats.rejected_blocks == 1 &&
+                         stats.transactions + stats.dropped_transactions ==
+                             spec.total_transactions();
+  return (links_ok && recovered) ? 0 : 1;
 }

@@ -50,6 +50,13 @@ class ExecutionEngine {
   [[nodiscard]] vm::World& world() const noexcept { return *world_; }
   [[nodiscard]] const ExecutionConfig& config() const noexcept { return config_; }
 
+  /// Re-points the engine at a different world, config unchanged — the
+  /// re-org recovery path: after a rejected block invalidates a stage's
+  /// state, the node materializes a fresh world from the last accepted
+  /// boundary snapshot and the stage resumes on it. Must not be called
+  /// while a transaction is executing.
+  void rebind(vm::World& world) noexcept { world_ = &world; }
+
   /// Plain serial execution: storage ops go straight to data, no capture.
   /// The paper's §7 baseline and the serial validator's replay mode.
   vm::TxStatus execute_serial(const chain::Transaction& tx);

@@ -85,6 +85,11 @@ chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
   return assemble(txs, std::move(statuses), std::move(profiles), parent);
 }
 
+void Miner::resume_from(vm::World& world) {
+  engine_.rebind(world);
+  runtime_.reset();
+}
+
 std::vector<vm::TxStatus> Miner::execute_serial_baseline(
     const std::vector<chain::Transaction>& txs) {
   std::vector<vm::TxStatus> statuses;

@@ -82,6 +82,15 @@ class Miner {
   std::vector<vm::TxStatus> execute_serial_baseline(
       const std::vector<chain::Transaction>& txs);
 
+  /// Resumable-from-snapshot entry point: re-points the miner at `world`
+  /// (freshly materialized from the last accepted boundary snapshot
+  /// after a rejected block invalidated the speculative suffix) and
+  /// clears the boosting runtime — the retained lock working set and
+  /// deadlock state describe executions that no longer exist. Must not
+  /// be called while mining. The miner's stats (high-water marks
+  /// included) survive the resume.
+  void resume_from(vm::World& world);
+
   [[nodiscard]] const MinerStats& last_stats() const noexcept { return stats_; }
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
 

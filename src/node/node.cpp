@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -31,6 +30,9 @@ NodeConfig require_config(NodeConfig config) {
   if (config.miner.exclusive_locks_only != config.validator.exclusive_locks_only) {
     throw std::invalid_argument("node: miner/validator disagree on exclusive_locks_only");
   }
+  if (config.pipeline_depth == 0) {
+    throw std::invalid_argument("node: pipeline_depth must be >= 1");
+  }
   return config;
 }
 
@@ -40,13 +42,13 @@ NodeConfig require_config(NodeConfig config) {
 // by construction — the old dual-world drift guard has nothing left to
 // check.
 Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
-    : config_(require_config(config)),
+    : config_(require_config(std::move(config))),
       miner_world_(require_world(std::move(world))),
       genesis_(*miner_world_),
       validator_world_(genesis_.materialize()),
-      mempool_(config.batch, config.mempool_capacity),
-      miner_(*miner_world_, config.miner),
-      validator_(*validator_world_, config.validator),
+      mempool_(config_.batch, config_.mempool_capacity),
+      miner_(*miner_world_, config_.miner),
+      validator_(*validator_world_, config_.validator),
       chain_(genesis_.state_root()) {}
 
 void Node::run() {
@@ -74,9 +76,14 @@ void Node::run() {
 
 void Node::run_sequential() {
   chain::Block parent = chain_.tip();
+  // The pre-state boundary of the block about to be mined — genesis for
+  // the first block, then refreshed after each accepted block. With
+  // halt_on_rejection there is nothing to unwind to, so no snapshots.
+  vm::WorldSnapshot boundary = recovery_enabled() ? genesis_ : vm::WorldSnapshot{};
   double mine_ms = 0.0;
   double validate_ms = 0.0;
   double mempool_wait = 0.0;
+  double snapshot_ms = 0.0;
   std::uint64_t mined = 0;
 
   while (config_.max_blocks == 0 || mined < config_.max_blocks) {
@@ -89,60 +96,138 @@ void Node::run_sequential() {
     chain::Block block = mine_batch(*batch, parent);
     mine_ms += ms_since(t_mine);
     ++mined;
+    const std::size_t block_txs = block.transactions.size();
     parent = block;
-    if (!validate_and_append(std::move(block), validate_ms)) break;
+
+    if (validate_and_append(std::move(block), validate_ms)) {
+      if (recovery_enabled()) {
+        const auto t_snapshot = Clock::now();
+        boundary = vm::WorldSnapshot(*miner_world_);
+        snapshot_ms += ms_since(t_snapshot);
+      }
+      continue;
+    }
+    if (!recovery_enabled()) break;
+
+    // Re-org, sequential flavor: no speculative suffix exists, only the
+    // rejected block itself unwinds. Both stages re-materialize from the
+    // boundary the block was mined on (the last accepted state) and the
+    // stream continues; the rejected batch is dropped.
+    const auto t_recover = Clock::now();
+    stats_.dropped_transactions += block_txs;
+    validator_world_ = boundary.materialize();
+    validator_.resume_from(*validator_world_);
+    miner_world_ = boundary.materialize();
+    miner_.resume_from(*miner_world_);
+    parent = chain_.tip();
+    ++stats_.recoveries;
+    stats_.recovery_ms += ms_since(t_recover);
   }
 
   stats_.mine_ms = mine_ms;
   stats_.validate_ms = validate_ms;
   stats_.mempool_wait_ms = mempool_wait;
+  stats_.snapshot_ms = snapshot_ms;
 }
 
 void Node::run_pipelined() {
-  // Depth-1 handoff slot between the stages. While the validator replays
-  // block N out of the slot, the miner is already mining block N+1 from
-  // the next mempool batch against its post-N world.
-  std::mutex slot_mu;
-  std::condition_variable slot_filled;
-  std::condition_variable slot_emptied;
-  std::optional<chain::Block> slot;
-  bool mining_done = false;
+  // The depth-k ring between the stages. While the validator replays the
+  // oldest in-flight block, the miner keeps mining up to pipeline_depth
+  // blocks ahead against its own unvalidated output.
+  HandoffRing ring(config_.pipeline_depth);
   std::atomic<bool> validation_stopped{false};
   std::exception_ptr validator_error;
+
+  // Validator-stage locals, merged into stats_ after the join (the miner
+  // thread owns other NodeStats fields while both are live).
   double validate_ms = 0.0;
   double validator_stall = 0.0;
+  double v_recovery_ms = 0.0;
+  std::uint64_t v_recoveries = 0;
+  std::uint64_t v_aborted_blocks = 0;
+  std::uint64_t v_dropped_txs = 0;
 
   std::jthread validator_thread([&] {
     try {
       while (true) {
         const auto t_wait = Clock::now();
-        std::unique_lock lk(slot_mu);
-        slot_filled.wait(lk, [&] { return slot.has_value() || mining_done; });
+        std::optional<InFlightBlock> entry = ring.pop();
         validator_stall += ms_since(t_wait);
-        if (!slot.has_value()) break;  // Mining finished and the slot drained.
-        chain::Block block = std::move(*slot);
-        slot.reset();
-        lk.unlock();
-        slot_emptied.notify_one();
-        if (!validate_and_append(std::move(block), validate_ms)) break;
+        if (!entry) break;  // Mining finished and the ring drained.
+        const std::size_t block_txs = entry->block.transactions.size();
+        if (validate_and_append(std::move(entry->block), validate_ms)) continue;
+
+        // Rejected. Without a pre-state boundary (halt mode) it is fatal.
+        if (!recovery_enabled() || !entry->pre_state.valid()) break;
+
+        // Stamp the re-org coordinates onto the recorded report: the
+        // post-root the in-flight block claimed and the boundary the
+        // node recovered to (the rejected block itself was consumed by
+        // the validator above, so the denormalized ring copy is what
+        // still knows the claim).
+        if (failure_.has_value() && stats_.rejected_blocks == 1) {
+          failure_->detail += " [in-flight block claimed post-root " +
+                              entry->expected_post_root.to_hex().substr(0, 16) +
+                              "…, re-orged to boundary " +
+                              entry->pre_state.state_root().to_hex().substr(0, 16) + "…]";
+        }
+
+        // Re-org: every queued entry was mined on top of the rejected
+        // block — drain them, publish the recovery point, and rebuild
+        // this stage's replica from the last accepted boundary. The
+        // miner re-materializes its own world concurrently once it
+        // observes the abort (cloning the shared frozen snapshot only
+        // reads it). Reading chain_.tip() here is safe: nothing appends
+        // until the handshake completes and a post-recovery block
+        // validates.
+        const auto t_recover = Clock::now();
+        v_dropped_txs += block_txs;
+        const HandoffRing::DrainResult drained =
+            ring.abort_and_drain(RecoveryPoint{entry->pre_state, chain_.tip()});
+        v_aborted_blocks += drained.blocks;
+        v_dropped_txs += drained.transactions;
+        validator_world_ = entry->pre_state.materialize();
+        validator_.resume_from(*validator_world_);
+        ++v_recoveries;  // One re-org completed (the miner's half is lazy).
+        v_recovery_ms += ms_since(t_recover);
       }
     } catch (...) {
       validator_error = std::current_exception();
     }
-    // Covers rejection, drain and error alike: release a miner blocked on
-    // the slot or inside next_batch, and producers blocked on capacity.
+    // Covers halt-rejection, drain and error alike: release a miner
+    // blocked on the ring or inside next_batch, and producers blocked on
+    // mempool capacity.
     validation_stopped.store(true, std::memory_order_relaxed);
-    { std::scoped_lock lk(slot_mu); }
-    slot_emptied.notify_all();
+    ring.close();
     mempool_.close();
   });
 
   chain::Block parent = chain_.tip();
+  vm::WorldSnapshot boundary = recovery_enabled() ? genesis_ : vm::WorldSnapshot{};
   double mine_ms = 0.0;
   double mempool_wait = 0.0;
   double handoff_wait = 0.0;
+  double snapshot_ms = 0.0;
+  double m_recovery_ms = 0.0;
   std::uint64_t mined = 0;
+  std::uint64_t m_aborted_blocks = 0;
+  std::uint64_t m_dropped_txs = 0;
   std::exception_ptr miner_error;
+
+  // The producer half of the abort handshake: collect the recovery
+  // point, rebuild the mining world from the last accepted boundary and
+  // resume on top of the last accepted block. The boundary snapshot is
+  // shared with the recovery point — the resumed world *is* that state,
+  // so no fresh clone is needed until the next block is accepted.
+  const auto recover = [&] {
+    const auto t_recover = Clock::now();
+    RecoveryPoint point = ring.acknowledge_abort();
+    miner_world_ = point.world.materialize();
+    miner_.resume_from(*miner_world_);
+    parent = std::move(point.parent);
+    boundary = std::move(point.world);
+    m_recovery_ms += ms_since(t_recover);
+  };
 
   try {
     while (!validation_stopped.load(std::memory_order_relaxed) &&
@@ -152,36 +237,46 @@ void Node::run_pipelined() {
       mempool_wait += ms_since(t_wait);
       if (!batch) break;
 
+      // A rejection may have landed while this stage waited for traffic;
+      // recover before mining the fresh batch on a doomed parent.
+      if (ring.abort_requested()) recover();
+
       const auto t_mine = Clock::now();
       chain::Block block = mine_batch(*batch, parent);
       mine_ms += ms_since(t_mine);
       ++mined;
+      const std::size_t block_txs = block.transactions.size();
       parent = block;
 
       const auto t_handoff = Clock::now();
-      {
-        std::unique_lock lk(slot_mu);
-        slot_emptied.wait(lk, [&] {
-          return !slot.has_value() || validation_stopped.load(std::memory_order_relaxed);
-        });
-        if (validation_stopped.load(std::memory_order_relaxed)) break;
-        slot = std::move(block);
-      }
+      const HandoffRing::PushOutcome outcome =
+          ring.push(InFlightBlock{std::move(block), boundary, parent.header.state_root});
       handoff_wait += ms_since(t_handoff);
-      slot_filled.notify_one();
+      if (outcome == HandoffRing::PushOutcome::kAborted) {
+        // The block extends a rejected chain: part of the doomed suffix.
+        ++m_aborted_blocks;
+        m_dropped_txs += block_txs;
+        recover();
+        continue;
+      }
+      if (outcome == HandoffRing::PushOutcome::kClosed) break;
+
+      if (recovery_enabled()) {
+        // Freeze the post-block state: the pre-state boundary of the
+        // next block. Overlaps with validation of everything in flight.
+        const auto t_snapshot = Clock::now();
+        boundary = vm::WorldSnapshot(*miner_world_);
+        snapshot_ms += ms_since(t_snapshot);
+      }
     }
   } catch (...) {
     // A mining-stage failure (e.g. the livelock guard) must still wind
-    // the validator down — never leave it waiting on a slot_filled
-    // signal that will not come.
+    // the validator down — never leave it waiting on a ring fill that
+    // will not come.
     miner_error = std::current_exception();
   }
 
-  {
-    std::scoped_lock lk(slot_mu);
-    mining_done = true;
-  }
-  slot_filled.notify_one();
+  ring.close();
   validator_thread.join();
   if (miner_error) std::rethrow_exception(miner_error);
   if (validator_error) std::rethrow_exception(validator_error);
@@ -191,6 +286,12 @@ void Node::run_pipelined() {
   stats_.mempool_wait_ms = mempool_wait;
   stats_.handoff_wait_ms = handoff_wait;
   stats_.validator_stall_ms = validator_stall;
+  stats_.snapshot_ms = snapshot_ms;
+  stats_.aborted_blocks = v_aborted_blocks + m_aborted_blocks;
+  stats_.dropped_transactions = v_dropped_txs + m_dropped_txs;
+  stats_.recoveries = v_recoveries;
+  stats_.recovery_ms = v_recovery_ms + m_recovery_ms;
+  stats_.ring_high_water = ring.stats().high_water;
 }
 
 chain::Block Node::mine_batch(const std::vector<chain::Transaction>& batch,
@@ -204,6 +305,7 @@ chain::Block Node::mine_batch(const std::vector<chain::Transaction>& batch,
   stats_.schedule_bytes += mined.schedule_bytes;
   stats_.lock_table_high_water =
       std::max(stats_.lock_table_high_water, mined.lock_table_high_water);
+  if (config_.post_mine_hook) config_.post_mine_hook(block);
   return block;
 }
 
@@ -212,7 +314,8 @@ bool Node::validate_and_append(chain::Block block, double& validate_ms) {
   core::ValidationReport report = validator_.validate_parallel(block);
   validate_ms += ms_since(t_validate);
   if (!report.ok) {
-    failure_ = std::move(report);
+    ++stats_.rejected_blocks;
+    if (!failure_.has_value()) failure_ = std::move(report);
     return false;
   }
   stats_.blocks += 1;

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
 #include "chain/blockchain.hpp"
 #include "core/miner.hpp"
 #include "core/validator.hpp"
+#include "node/handoff_ring.hpp"
 #include "node/mempool.hpp"
 #include "vm/world.hpp"
 
@@ -35,6 +37,28 @@ struct NodeConfig {
   bool pipelined = true;             ///< false = mine→validate→append strictly in turn.
   MiningMode mining = MiningMode::kSpeculative;
   std::size_t max_blocks = 0;        ///< 0 = run until the mempool closes and drains.
+
+  /// Capacity of the miner→validator handoff ring: how many mined blocks
+  /// may be in flight (handed off but not yet validated) at once, i.e.
+  /// how far mining may speculate past validation. 1 = the original
+  /// depth-1 slot. Must be ≥ 1 (enforced at construction). Only
+  /// meaningful when `pipelined`.
+  std::size_t pipeline_depth = 1;
+
+  /// Legacy fatal-rejection contract: stop the node at the first
+  /// rejected block instead of recovering. Also skips the per-block
+  /// boundary snapshots recovery needs, so a halt-on-rejection node has
+  /// zero clone overhead per block. With the default (false), a
+  /// rejection aborts the speculative suffix, re-materializes both
+  /// stages from the last accepted boundary snapshot, and the node keeps
+  /// processing the stream (see Node class comment).
+  bool halt_on_rejection = false;
+
+  /// Test/chaos seam: invoked on each mined block (miner thread) before
+  /// it enters the handoff ring. May mutate the block — e.g. corrupt its
+  /// state root — to exercise the rejection/re-org recovery path. Not
+  /// part of the consensus surface.
+  std::function<void(chain::Block&)> post_mine_hook;
 };
 
 /// Per-stage counters for one run() — the sustained-traffic numbers the
@@ -47,12 +71,34 @@ struct NodeStats {
   double validate_ms = 0.0;        ///< Total time inside the validation stage.
   /// Mining stage blocked on an empty mempool (ingress starvation).
   double mempool_wait_ms = 0.0;
-  /// Mining stage blocked handing a block to a still-busy validator — the
-  /// pipeline's stall time when validation is the bottleneck.
+  /// Mining stage blocked on a full handoff ring — the pipeline's stall
+  /// time when validation is the bottleneck.
   double handoff_wait_ms = 0.0;
   /// Validation stage blocked waiting for a mined block — the pipeline's
   /// stall time when mining is the bottleneck.
   double validator_stall_ms = 0.0;
+
+  // Re-org recovery (the depth-k ring's abort path; all zero on a clean
+  // run or when NodeConfig::halt_on_rejection stopped the node instead).
+  std::uint64_t rejected_blocks = 0;  ///< Blocks the validator refused.
+  /// Speculative suffix blocks discarded by re-orgs: entries drained
+  /// from the ring plus blocks the miner dropped at a failed handoff.
+  std::uint64_t aborted_blocks = 0;
+  /// Transactions inside rejected + aborted blocks. These left the
+  /// mempool but never reached the chain: `transactions` + this is the
+  /// full consumed stream.
+  std::uint64_t dropped_transactions = 0;
+  /// Re-orgs recovered: rejections unwound by snapshot
+  /// re-materialization (the miner's half of the handshake completes
+  /// lazily and may be skipped entirely when the stream ends first, so
+  /// this counts per re-org, not per stage).
+  std::uint64_t recoveries = 0;
+  double recovery_ms = 0.0;      ///< Time re-materializing worlds after rejections.
+  /// Time spent freezing per-block boundary snapshots — the steady-state
+  /// price of recoverability (O(state) clones until the COW world lands).
+  double snapshot_ms = 0.0;
+  /// Max mined-but-unvalidated blocks in flight at once (≤ pipeline_depth).
+  std::size_t ring_high_water = 0;
 
   // Aggregated over every mined block.
   std::uint64_t attempts = 0;
@@ -82,21 +128,31 @@ struct NodeStats {
 /// after block N it already holds the post-N state, which *is* the
 /// snapshot block N+1 executes against. The validator replays each block
 /// against its replica at post-(N−1) state and cross-checks the
-/// published state root. With `pipelined`, validation of block N
-/// overlaps mining of block N+1 through a depth-1 handoff slot (the
-/// two-stage pipeline; the slot bounds speculation so a bad block can't
-/// let the miner run arbitrarily far ahead of validation).
+/// published state root.
+///
+/// With `pipelined`, the stages are decoupled by a HandoffRing of
+/// `pipeline_depth` in-flight blocks: the miner keeps mining N+1..N+k on
+/// top of its own unvalidated output while the validator works through
+/// the ring in order (depth 1 is the original two-stage handoff slot —
+/// the ring bounds how far a bad block can let the miner run ahead).
+/// Each in-flight block carries a snapshot of its pre-state boundary.
+/// When the validator rejects block N, the node *recovers* instead of
+/// dying: the speculative suffix N+1..N+k is aborted out of the ring,
+/// both stages re-materialize their worlds from block N's pre-state
+/// snapshot (the last accepted boundary), mining resumes on top of the
+/// last accepted block, and the rejection is reported through
+/// ok()/failure() and the NodeStats abort counters. Set
+/// `halt_on_rejection` for the legacy stop-the-node contract.
 ///
 /// Usage: construct with the genesis world, feed mempool() from any
 /// number of producer threads, call run() (blocking), close() the
-/// mempool to shut down cleanly. A rejected block stops the node and is
-/// reported through ok()/failure().
+/// mempool to shut down cleanly.
 class Node {
  public:
   /// Takes ownership of the genesis world; the validator's replica is
   /// cloned from it internally. Throws std::invalid_argument when
-  /// `world` is null or the miner/validator configs disagree on lock
-  /// semantics.
+  /// `world` is null, the miner/validator configs disagree on lock
+  /// semantics, or pipeline_depth is 0.
   Node(std::unique_ptr<vm::World> world, NodeConfig config);
 
   Node(const Node&) = delete;
@@ -104,14 +160,14 @@ class Node {
 
   [[nodiscard]] Mempool& mempool() noexcept { return mempool_; }
 
-  /// The immutable genesis snapshot both stages were derived from — the
-  /// seam a depth-k validation ring (re-deriving a validator world after
-  /// a re-org) or mid-block read serving will hang off.
+  /// The immutable genesis snapshot both stages were derived from — also
+  /// the first block's pre-state boundary in the handoff ring.
   [[nodiscard]] const vm::WorldSnapshot& genesis_snapshot() const noexcept { return genesis_; }
 
   /// Processes the stream until the mempool closes and drains, max_blocks
-  /// is reached, or a block is rejected. Call once; blocking. The mempool
-  /// is closed by the time run() returns, so producers never hang.
+  /// is reached, or — with halt_on_rejection — a block is rejected. Call
+  /// once; blocking. The mempool is closed by the time run() returns, so
+  /// producers never hang.
   void run();
 
   [[nodiscard]] const chain::Blockchain& chain() const noexcept { return chain_; }
@@ -119,8 +175,13 @@ class Node {
   /// Valid after run() returns.
   [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
 
-  /// False when run() stopped because validation rejected a block.
+  /// False when validation rejected at least one block. With recovery
+  /// (the default) the run still completed — the chain holds every block
+  /// accepted before and after the re-orgs, and stats() counts what was
+  /// dropped; with halt_on_rejection the node stopped at the rejection.
   [[nodiscard]] bool ok() const noexcept { return !failure_.has_value(); }
+
+  /// The FIRST rejection's report (valid when !ok()).
   [[nodiscard]] const core::ValidationReport& failure() const { return failure_.value(); }
 
  private:
@@ -128,13 +189,19 @@ class Node {
   void run_sequential();
 
   /// Mines one batch in the configured mode, folding MinerStats into the
-  /// node aggregates. Returns the block extending `parent`.
+  /// node aggregates and applying post_mine_hook. Returns the block
+  /// extending `parent`.
   [[nodiscard]] chain::Block mine_batch(const std::vector<chain::Transaction>& batch,
                                         const chain::Block& parent);
 
-  /// Validates and appends; on rejection records failure_ and returns
-  /// false. `validate_ms` accumulates stage time.
+  /// Validates and appends; on rejection records the first failure_ and
+  /// returns false (leaving the validator world dirty — the caller owns
+  /// recovery). `validate_ms` accumulates stage time.
   bool validate_and_append(chain::Block block, double& validate_ms);
+
+  /// True when this run takes per-block boundary snapshots (the price of
+  /// being able to recover from a rejection).
+  [[nodiscard]] bool recovery_enabled() const noexcept { return !config_.halt_on_rejection; }
 
   NodeConfig config_;
   std::unique_ptr<vm::World> miner_world_;

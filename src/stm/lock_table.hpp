@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -19,47 +20,77 @@ namespace concord::stm {
 /// "When a miner starts a block, it sets these counters to zero" by
 /// zeroing every lock's counter in place, reusing the node and the
 /// holder-vector capacity — under a sustained block stream this removes a
-/// full drop-and-reallocate of the table per block. A table that has
-/// grown past `shrink_threshold` distinct locks (a long stream touching
-/// disjoint ids every block) is dropped wholesale instead, bounding
-/// memory. Pointers returned by get() are stable until a shrinking
-/// reset(); reset() only runs between blocks when no speculative action
-/// is live.
+/// full drop-and-reallocate of the table per block.
+///
+/// Between that in-place recycle and the wholesale drop sits a decay
+/// sweep: each lock remembers the block (reset epoch) it was last
+/// touched in, and reset() evicts locks idle for `decay_blocks`
+/// consecutive blocks. Under a stream touching disjoint ids every block,
+/// cold locks age out within decay_blocks while the hot working set
+/// survives indefinitely — instead of the whole table (hot locks
+/// included) periodically hitting the shrink fallback. That fallback
+/// remains the hard bound: a table past `shrink_threshold` distinct
+/// locks (e.g. one block touching more ids than the decay horizon can
+/// shed) is still dropped wholesale.
+///
+/// Pointers returned by get() are stable until a reset() evicts that
+/// lock (decay) or drops the table (shrink); reset() only runs between
+/// blocks when no speculative action is live.
 class LockTable {
  public:
   /// Above this many retained locks, reset() falls back to dropping the
   /// table instead of recycling it (memory bound for long streams).
   static constexpr std::size_t kDefaultShrinkThreshold = 1u << 18;
 
+  /// A lock untouched for this many consecutive blocks is evicted by the
+  /// decay sweep. 0 disables decay (pure recycle-or-drop, the pre-decay
+  /// behavior).
+  static constexpr std::size_t kDefaultDecayBlocks = 64;
+
   LockTable() = default;
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
-  /// Returns the lock for `id`, creating it if needed.
+  /// Returns the lock for `id`, creating it if needed, and stamps it as
+  /// touched in the current block (the decay sweep's freshness signal).
   [[nodiscard]] AbstractLock& get(const LockId& id) {
     Stripe& stripe = stripes_[stripe_index(id)];
     std::scoped_lock lk(stripe.mu);
-    auto [it, inserted] = stripe.locks.try_emplace(id, nullptr);
-    if (inserted) it->second = std::make_unique<AbstractLock>(id);
-    return *it->second;
+    auto [it, inserted] = stripe.locks.try_emplace(id);
+    if (inserted) it->second.lock = std::make_unique<AbstractLock>(id);
+    it->second.touched_epoch = epoch_.load(std::memory_order_relaxed);
+    return *it->second.lock;
   }
 
-  /// Zeroes every use counter for the next block, keeping allocations
-  /// (see class comment for the shrink fallback). Caller must guarantee
-  /// no action holds or waits on any lock.
-  void reset(std::size_t shrink_threshold = kDefaultShrinkThreshold) {
+  /// Zeroes every use counter for the next block, keeping allocations;
+  /// evicts locks idle for `decay_blocks` consecutive blocks; drops the
+  /// table wholesale past `shrink_threshold` (see class comment). Caller
+  /// must guarantee no action holds or waits on any lock.
+  void reset(std::size_t shrink_threshold = kDefaultShrinkThreshold,
+             std::size_t decay_blocks = kDefaultDecayBlocks) {
     const std::size_t current = size();
     if (std::size_t hw = high_water_.load(std::memory_order_relaxed); current > hw) {
       high_water_.store(current, std::memory_order_relaxed);
     }
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     for (auto& stripe : stripes_) {
       std::scoped_lock lk(stripe.mu);
       if (current > shrink_threshold) {
         stripe.locks.clear();
-      } else {
-        for (auto& [id, lock] : stripe.locks) lock->reset_for_next_block();
+        continue;
+      }
+      for (auto it = stripe.locks.begin(); it != stripe.locks.end();) {
+        // blocks-since-last-touch: 0 = touched in the block just ended.
+        if (decay_blocks > 0 && epoch - it->second.touched_epoch >= decay_blocks) {
+          it = stripe.locks.erase(it);
+          evicted_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          it->second.lock->reset_for_next_block();
+          ++it;
+        }
       }
     }
+    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Total number of distinct abstract locks materialized (diagnostic).
@@ -80,6 +111,12 @@ class LockTable {
     return std::max(high_water_.load(std::memory_order_relaxed), size());
   }
 
+  /// Locks removed by the decay sweep over the table's lifetime
+  /// (diagnostic; wholesale drops are not counted here).
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t kStripes = 64;
 
@@ -87,13 +124,27 @@ class LockTable {
     return LockIdHash{}(id) % kStripes;
   }
 
+  /// Map value: the lock plus the reset epoch it was last touched in.
+  /// The stamp lives beside the pointer (not inside AbstractLock) — it
+  /// is table bookkeeping, written under the stripe mutex get() already
+  /// holds.
+  struct Entry {
+    std::unique_ptr<AbstractLock> lock;
+    std::uint64_t touched_epoch = 0;
+  };
+
   struct Stripe {
     mutable std::mutex mu;
-    std::unordered_map<LockId, std::unique_ptr<AbstractLock>, LockIdHash> locks;
+    std::unordered_map<LockId, Entry, LockIdHash> locks;
   };
 
   std::array<Stripe, kStripes> stripes_;
   std::atomic<std::size_t> high_water_{0};
+  /// Number of completed reset()s — the "current block" stamp get()
+  /// writes. Atomic so diagnostic reads stay clean; get()/reset() are
+  /// already excluded by the reset contract.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> evicted_{0};
 };
 
 }  // namespace concord::stm

@@ -77,19 +77,36 @@ class World {
 /// the last snapshot while the miner's world is in flux.
 class WorldSnapshot {
  public:
+  /// An empty handle (valid() == false). Lets snapshot slots — a ring
+  /// entry whose pipeline runs with recovery disabled, a moved-from
+  /// handle — exist without a frozen world behind them.
+  WorldSnapshot() = default;
+
   /// Freezes `world`'s current state. The original is untouched and may
   /// keep advancing; the snapshot's root never changes.
   explicit WorldSnapshot(const World& world)
       : frozen_(world.clone()), root_(frozen_->state_root()) {}
 
+  /// False for a default-constructed (or moved-from) handle. world() and
+  /// materialize() require valid().
+  [[nodiscard]] bool valid() const noexcept { return frozen_ != nullptr; }
+
+  /// How many handles share this frozen state (0 for an empty handle) —
+  /// the ring-occupancy diagnostic: a depth-k pipeline holds at most one
+  /// live boundary per in-flight block.
+  [[nodiscard]] long use_count() const noexcept { return frozen_.use_count(); }
+
   /// The frozen state, for read-only serving.
   [[nodiscard]] const World& world() const noexcept { return *frozen_; }
 
-  /// The state root at the moment the snapshot was taken.
+  /// The state root at the moment the snapshot was taken (zero hash for
+  /// an empty handle).
   [[nodiscard]] const util::Hash256& state_root() const noexcept { return root_; }
 
   /// A fresh mutable world replica of the frozen state — how a validator
   /// (or a re-org recovery path) gets a private copy to execute against.
+  /// Concurrent materialize() calls on handles sharing one frozen world
+  /// are safe: cloning only reads the immutable state.
   [[nodiscard]] std::unique_ptr<World> materialize() const { return frozen_->clone(); }
 
  private:

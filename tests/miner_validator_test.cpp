@@ -365,5 +365,52 @@ TEST(Validator, EmptyBlockValidates) {
   EXPECT_TRUE(validator.validate_parallel(block).ok);
 }
 
+// ------------------------------------- Resumable-from-snapshot seam ---
+
+/// The re-org recovery entry point: a validator whose replica went
+/// stale (here: already advanced past the block's pre-state) rejects
+/// the replay — and accepts it again after resume_from() re-points it
+/// at a fresh replica materialized from the boundary snapshot.
+TEST(Validator, ResumeFromSnapshotRevalidatesAfterADirtyWorld) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kMixed, 80, 30);
+  Fixture fixture = make_fixture(spec);
+  const vm::WorldSnapshot boundary(*fixture.world);  // Pre-block state.
+  Miner miner(*fixture.world, fast_miner());
+  const chain::Block block = miner.mine_serial(fixture.transactions, fixture.genesis());
+
+  // First replay consumes the replica; replaying the same block again on
+  // the now-dirty world must fail the root cross-check.
+  auto replica = boundary.materialize();
+  Validator validator(*replica, fast_validator());
+  ASSERT_TRUE(validator.validate_parallel(block).ok);
+  const ValidationReport stale = validator.validate_parallel(block);
+  ASSERT_FALSE(stale.ok);
+
+  // Recovery: re-materialize from the boundary snapshot and resume.
+  auto fresh = boundary.materialize();
+  validator.resume_from(*fresh);
+  const ValidationReport resumed = validator.validate_parallel(block);
+  EXPECT_TRUE(resumed.ok) << to_string(resumed.reason) << ": " << resumed.detail;
+  EXPECT_EQ(fresh->state_root(), block.header.state_root);
+}
+
+/// Miner half of the same seam: after resume_from() the miner re-mines
+/// the identical batch from the identical pre-state — byte-identical
+/// blocks, as the post-recovery pipeline requires.
+TEST(MinerSerial, ResumeFromSnapshotReminesIdenticalBlock) {
+  const WorkloadSpec spec = spec_of(BenchmarkKind::kBallot, 60, 25);
+  Fixture fixture = make_fixture(spec);
+  const vm::WorldSnapshot boundary(*fixture.world);
+  const chain::Block parent = fixture.genesis();  // Captured pre-mining.
+  Miner miner(*fixture.world, fast_miner());
+  const chain::Block first = miner.mine_serial(fixture.transactions, parent);
+
+  auto rewound = boundary.materialize();
+  miner.resume_from(*rewound);
+  const chain::Block again = miner.mine_serial(fixture.transactions, parent);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first.hash(), again.hash());
+}
+
 }  // namespace
 }  // namespace concord::core

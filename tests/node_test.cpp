@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -27,12 +28,25 @@ StreamSpec stream_spec(BenchmarkKind kind, std::size_t blocks, std::size_t txs_p
   return spec;
 }
 
+/// The whole suite runs at ring depth 1 unless the harness says
+/// otherwise: the CMake registration re-runs it with
+/// CONCORD_PIPELINE_DEPTH ∈ {2, 4} so the k=1 regression lane and the
+/// ring lanes both stay green (tests that pin their own depth ignore
+/// this).
+std::size_t env_pipeline_depth() {
+  if (const char* env = std::getenv("CONCORD_PIPELINE_DEPTH")) {
+    if (const unsigned long depth = std::strtoul(env, nullptr, 10); depth >= 1) return depth;
+  }
+  return 1;
+}
+
 /// Unit tests skip the calibrated gas burn.
 NodeConfig fast_node(const StreamSpec& spec) {
   NodeConfig config;
   config.miner.nanos_per_gas = 0.0;
   config.validator.nanos_per_gas = 0.0;
   config.batch.target_txs = spec.txs_per_block;
+  config.pipeline_depth = env_pipeline_depth();
   return config;
 }
 
@@ -151,6 +165,41 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineDeterminism,
                            return std::string(workload::to_string(info.param));
                          });
 
+// --------------------------------------------- Depth-k determinism ---
+
+/// Ring depth is a scheduling knob, not a semantic one: the acceptance
+/// criterion requires the serial-mode pipelined chain byte-identical to
+/// the sequential reference at depths 1, 2 and 4 (explicitly, whatever
+/// CONCORD_PIPELINE_DEPTH says).
+class PipelineDepthDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineDepthDeterminism, RingDepthDoesNotChangeTheChain) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/20, /*txs_per_block=*/25,
+                                      /*conflict=*/20);
+  NodeConfig config = fast_node(spec);
+  config.pipelined = true;
+  config.mining = MiningMode::kSerial;
+  config.pipeline_depth = GetParam();
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
+
+  ASSERT_TRUE(node->ok());
+  const chain::Blockchain reference = sequential_reference(spec);
+  ASSERT_EQ(node->chain().height(), reference.height());
+  for (std::uint64_t n = 0; n <= reference.height(); ++n) {
+    EXPECT_EQ(node->chain().at(n), reference.at(n)) << "block " << n << " diverged";
+  }
+  const NodeStats& stats = node->stats();
+  EXPECT_LE(stats.ring_high_water, GetParam());
+  EXPECT_EQ(stats.rejected_blocks, 0u);
+  EXPECT_EQ(stats.dropped_transactions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepthDeterminism, ::testing::Values(1u, 2u, 4u),
+                         [](const auto& info) {
+                           return "depth" + std::to_string(info.param);
+                         });
+
 // --------------------------------------------- Speculative pipeline ---
 
 /// With speculative mining the schedule depends on thread timing, so the
@@ -221,10 +270,219 @@ TEST(NodePipeline, RunTwiceThrows) {
   EXPECT_THROW(node->run(), std::logic_error);
 }
 
+// ------------------------------------------------- Re-org recovery ---
+
+/// Validator slow enough (calibrated gas burn at 200 ns/gas ≈ tens of
+/// ms per block; workload transactions carry four-to-five-figure gas)
+/// that the zero-burn miner always runs the full ring ahead before the
+/// first verdict lands — which pins exactly which blocks are in flight
+/// when the rejection happens, making the recovery tests deterministic.
+constexpr double kSlowValidatorNanosPerGas = 200.0;
+
+/// A serial-mining pipelined node whose post-mine hook corrupts the
+/// published state root of the FIRST block mined as number
+/// `faulty_number` — the post-root-corrupting fault of the acceptance
+/// criterion. One-shot, so a block re-mined with the same number after
+/// recovery validates cleanly.
+NodeConfig faulty_node(const StreamSpec& spec, std::size_t depth, std::uint64_t faulty_number) {
+  NodeConfig config;
+  config.miner.nanos_per_gas = 0.0;
+  config.validator.nanos_per_gas = kSlowValidatorNanosPerGas;
+  config.batch.target_txs = spec.txs_per_block;
+  config.pipelined = true;
+  config.mining = MiningMode::kSerial;
+  config.pipeline_depth = depth;
+  config.post_mine_hook = [faulty_number, fired = std::make_shared<bool>(false)](
+                              chain::Block& block) {
+    if (!*fired && block.header.number == faulty_number) {
+      *fired = true;
+      block.header.state_root.bytes[0] ^= 0xff;
+    }
+  };
+  return config;
+}
+
+/// Rejection at depth k with the whole remaining stream already
+/// speculated: blocks 3..6 sit in the ring when block 2's verdict comes
+/// back. The node must abort the suffix and the committed chain must be
+/// the sequential reference truncated at the rejection point — not a
+/// torn-down node, not a chain containing any doomed block.
+TEST(NodeRecovery, SuffixAbortTruncatesChainAtTheRejectionPoint) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/6, /*txs_per_block=*/20,
+                                      /*conflict=*/20);
+  // Depth ≥ remaining blocks: 3..6 all fit in flight behind block 2.
+  auto [node, stream] = make_node(spec, faulty_node(spec, /*depth=*/6, /*faulty_number=*/2));
+  drive(*node, std::move(stream));
+
+  // The rejection is reported — but it did not tear the node down; the
+  // run completed and the chain below the fault is intact.
+  ASSERT_FALSE(node->ok());
+  EXPECT_EQ(node->failure().reason, core::RejectReason::kStateRootMismatch);
+
+  const chain::Blockchain reference = sequential_reference(spec);
+  ASSERT_EQ(node->chain().height(), 1u);
+  for (std::uint64_t n = 0; n <= 1; ++n) {
+    EXPECT_EQ(node->chain().at(n), reference.at(n)) << "block " << n << " diverged";
+  }
+  EXPECT_TRUE(node->chain().verify_links());
+
+  const NodeStats& stats = node->stats();
+  EXPECT_EQ(stats.rejected_blocks, 1u);
+  EXPECT_EQ(stats.aborted_blocks, 4u);  // Blocks 3..6, drained from the ring.
+  // The re-org completed (validator re-materialized) even though the
+  // miner — its stream already drained — never resumed mining.
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_EQ(stats.transactions, 20u);
+  // Accounting closes: every consumed transaction either committed or
+  // was dropped by the re-org.
+  EXPECT_EQ(stats.dropped_transactions, 100u);
+  EXPECT_EQ(stats.transactions + stats.dropped_transactions, spec.total_transactions());
+  EXPECT_GE(stats.ring_high_water, 4u);
+}
+
+/// The liveness half: after the re-org the node re-materializes the
+/// miner from the last accepted boundary snapshot and KEEPS MINING —
+/// the post-recovery block must land on top of block 1 and be
+/// byte-identical to serially mining its batch there.
+TEST(NodeRecovery, MiningResumesFromTheAcceptedBoundaryAfterRecovery) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/6, /*txs_per_block=*/20,
+                                      /*conflict=*/20);
+  // Depth 2, fault at block 2: while the slow validator chews block 2,
+  // the miner fills the ring with 3,4 and parks pushing 5. The re-org
+  // drains 3,4, fails the push of 5, and batch 6 — still in the mempool
+  // — is mined post-recovery as the new block 2.
+  auto [node, stream] = make_node(spec, faulty_node(spec, /*depth=*/2, /*faulty_number=*/2));
+  drive(*node, std::move(stream));
+
+  ASSERT_FALSE(node->ok());
+  EXPECT_EQ(node->failure().reason, core::RejectReason::kStateRootMismatch);
+  ASSERT_EQ(node->chain().height(), 2u);
+  EXPECT_TRUE(node->chain().verify_links());
+
+  // Expected chain: batch 1, then batch 6 mined on the post-1 state —
+  // the same fixture mined serially with the dropped window left out.
+  auto ref = make_stream_fixture(spec);
+  core::MinerConfig miner_config;
+  miner_config.nanos_per_gas = 0.0;
+  core::Miner ref_miner(*ref.world, miner_config);
+  chain::Blockchain expected(ref.world->state_root());
+  const auto batch = [&ref](std::size_t index) {
+    const auto first = ref.transactions.begin() + static_cast<std::ptrdiff_t>(index * 20);
+    return std::vector<chain::Transaction>(first, first + 20);
+  };
+  expected.append(ref_miner.mine_serial(batch(0), expected.tip()));
+  expected.append(ref_miner.mine_serial(batch(5), expected.tip()));
+  for (std::uint64_t n = 0; n <= 2; ++n) {
+    EXPECT_EQ(node->chain().at(n), expected.at(n)) << "block " << n << " diverged";
+  }
+
+  const NodeStats& stats = node->stats();
+  EXPECT_EQ(stats.rejected_blocks, 1u);
+  EXPECT_EQ(stats.aborted_blocks, 3u);  // 3,4 drained + 5 dropped at the failed push.
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.blocks, 2u);
+  EXPECT_EQ(stats.transactions, 40u);
+  EXPECT_EQ(stats.dropped_transactions, 80u);  // Batches 2,3,4,5.
+  EXPECT_EQ(stats.transactions + stats.dropped_transactions, spec.total_transactions());
+  EXPECT_GT(stats.recovery_ms, 0.0);
+  EXPECT_GT(stats.snapshot_ms, 0.0);
+}
+
+/// Sequential mode recovers too (no ring, no suffix — just the rejected
+/// block unwinding), and with one thread the whole scenario is
+/// timing-independent: batch 3 is dropped, everything else commits.
+TEST(NodeRecovery, SequentialModeDropsOnlyTheRejectedBatch) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/6, /*txs_per_block=*/20,
+                                      /*conflict=*/20);
+  NodeConfig config = faulty_node(spec, /*depth=*/1, /*faulty_number=*/3);
+  config.pipelined = false;
+  config.validator.nanos_per_gas = 0.0;  // No timing pin needed.
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
+
+  ASSERT_FALSE(node->ok());
+  ASSERT_EQ(node->chain().height(), 5u);
+  EXPECT_TRUE(node->chain().verify_links());
+
+  // Expected: batches 1,2,4,5,6 mined in order with batch 3 left out.
+  auto ref = make_stream_fixture(spec);
+  core::MinerConfig miner_config;
+  miner_config.nanos_per_gas = 0.0;
+  core::Miner ref_miner(*ref.world, miner_config);
+  chain::Blockchain expected(ref.world->state_root());
+  const auto batch = [&ref](std::size_t index) {
+    const auto first = ref.transactions.begin() + static_cast<std::ptrdiff_t>(index * 20);
+    return std::vector<chain::Transaction>(first, first + 20);
+  };
+  for (const std::size_t index : {0u, 1u, 3u, 4u, 5u}) {
+    expected.append(ref_miner.mine_serial(batch(index), expected.tip()));
+  }
+  for (std::uint64_t n = 0; n <= expected.height(); ++n) {
+    EXPECT_EQ(node->chain().at(n), expected.at(n)) << "block " << n << " diverged";
+  }
+
+  const NodeStats& stats = node->stats();
+  EXPECT_EQ(stats.rejected_blocks, 1u);
+  EXPECT_EQ(stats.aborted_blocks, 0u);  // No speculative suffix exists.
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.dropped_transactions, 20u);
+  EXPECT_EQ(stats.transactions, 100u);
+}
+
+/// A fault in the FIRST block recovers to the genesis boundary — the
+/// one snapshot that was never taken per-block but frozen at
+/// construction.
+TEST(NodeRecovery, RecoveryFromTheGenesisBoundary) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, /*blocks=*/3, /*txs_per_block=*/15,
+                                      /*conflict=*/0);
+  NodeConfig config = faulty_node(spec, /*depth=*/1, /*faulty_number=*/1);
+  config.pipelined = false;
+  config.validator.nanos_per_gas = 0.0;
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
+
+  ASSERT_FALSE(node->ok());
+  ASSERT_EQ(node->chain().height(), 2u);
+  EXPECT_EQ(node->chain().at(0).header.state_root, node->genesis_snapshot().state_root());
+  EXPECT_TRUE(node->chain().verify_links());
+  EXPECT_EQ(node->stats().recoveries, 1u);
+  EXPECT_EQ(node->stats().dropped_transactions, 15u);
+}
+
+/// The legacy contract behind NodeConfig::halt_on_rejection: the first
+/// rejection stops the node — no recovery, no abort accounting, and
+/// (by construction) no per-block snapshot overhead.
+TEST(NodeRecovery, HaltOnRejectionStopsTheNodeLikeBefore) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kMixed, /*blocks=*/6, /*txs_per_block=*/20,
+                                      /*conflict=*/20);
+  NodeConfig config = faulty_node(spec, /*depth=*/4, /*faulty_number=*/2);
+  config.halt_on_rejection = true;
+  auto [node, stream] = make_node(spec, config);
+  drive(*node, std::move(stream));
+
+  ASSERT_FALSE(node->ok());
+  EXPECT_EQ(node->failure().reason, core::RejectReason::kStateRootMismatch);
+  EXPECT_EQ(node->chain().height(), 1u);
+  EXPECT_TRUE(node->mempool().closed());
+  const NodeStats& stats = node->stats();
+  EXPECT_EQ(stats.rejected_blocks, 1u);
+  EXPECT_EQ(stats.recoveries, 0u);
+  EXPECT_EQ(stats.aborted_blocks, 0u);
+  EXPECT_EQ(stats.snapshot_ms, 0.0);
+}
+
 // ------------------------------------------------ Construction guards ---
 
 TEST(NodeConstruction, RejectsNullWorld) {
   EXPECT_THROW(Node(nullptr, NodeConfig{}), std::invalid_argument);
+}
+
+TEST(NodeConstruction, RejectsZeroPipelineDepth) {
+  const StreamSpec spec = stream_spec(BenchmarkKind::kBallot, 2, 10, 0);
+  NodeConfig config;
+  config.pipeline_depth = 0;
+  EXPECT_THROW(Node(make_stream_fixture(spec).world, config), std::invalid_argument);
 }
 
 TEST(NodeConstruction, RejectsLockSemanticsDisagreement) {

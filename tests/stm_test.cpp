@@ -493,6 +493,91 @@ TEST(LockTable, HighWaterOutlivesDropAndLaterRecycles) {
   EXPECT_EQ(table.high_water(), 16u);
 }
 
+// ----------------------------------------------- LockTable decay sweep ---
+
+TEST(LockTableDecay, ColdLocksAgeOutWhileHotLocksSurvive) {
+  LockTable table;
+  (void)table.get(LockId{1, 1});  // Touched once, then never again.
+  // A disjoint-id stream: every block touches fresh ids plus one hot id.
+  for (std::uint64_t block = 0; block < 6; ++block) {
+    (void)table.get(LockId{2, block});  // Cold: unique to this block.
+    (void)table.get(LockId{3, 7});      // Hot: touched every block.
+    table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);
+  }
+  // Cold ids idle ≥ 2 blocks are gone; the hot id and the freshest cold
+  // ids (idle 0 and 1 at the last reset) remain.
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_GT(table.evicted(), 0u);
+  // Recreating an evicted id works (fresh node, zeroed counter).
+  EXPECT_EQ(table.get(LockId{1, 1}).use_counter(), 0u);
+}
+
+TEST(LockTableDecay, EvictionBoundaryIsBlocksSinceLastTouch) {
+  LockTable table;
+  (void)table.get(LockId{1, 1});
+  // Idle 0 at the first reset, idle 1 at the second: both below the
+  // decay horizon of 2 — the lock survives in place…
+  AbstractLock& before = table.get(LockId{1, 1});
+  table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);
+  ASSERT_EQ(table.size(), 1u);
+  table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(&table.get(LockId{1, 1}), &before);
+  // …but that get() re-stamped it. The reset closing its touch block
+  // sees idle 0; the next sees idle 1 — both keep it. At idle 2 the
+  // horizon is hit exactly and the sweep evicts.
+  table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);  // idle 0
+  table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);  // idle 1
+  ASSERT_EQ(table.size(), 1u);
+  table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/2);  // idle 2
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.evicted(), 1u);
+}
+
+TEST(LockTableDecay, ZeroDecayBlocksDisablesTheSweep) {
+  LockTable table;
+  (void)table.get(LockId{1, 1});
+  for (int i = 0; i < 10; ++i) {
+    table.reset(LockTable::kDefaultShrinkThreshold, /*decay_blocks=*/0);
+  }
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.evicted(), 0u);
+}
+
+TEST(LockTableDecay, WholesaleDropStillBoundsASingleHugeBlock) {
+  LockTable table;
+  // One block touches more ids than any decay horizon can shed — the
+  // shrink fallback must still fire, hot ids included.
+  for (std::uint64_t i = 0; i < 16; ++i) (void)table.get(LockId{1, i});
+  table.reset(/*shrink_threshold=*/8, /*decay_blocks=*/2);
+  EXPECT_EQ(table.size(), 0u);
+  // Wholesale drops are not decay evictions.
+  EXPECT_EQ(table.evicted(), 0u);
+  EXPECT_EQ(table.high_water(), 16u);
+}
+
+TEST(LockTableDecay, SteadyStateUnderDisjointStreamStaysBounded) {
+  LockTable table;
+  constexpr std::size_t kPerBlock = 10;
+  constexpr std::size_t kDecay = 3;
+  std::size_t peak = 0;
+  for (std::uint64_t block = 0; block < 50; ++block) {
+    for (std::uint64_t i = 0; i < kPerBlock; ++i) {
+      (void)table.get(LockId{block, i});  // All-new ids every block.
+    }
+    (void)table.get(LockId{999, 999});  // The hot lock.
+    table.reset(LockTable::kDefaultShrinkThreshold, kDecay);
+    peak = std::max(peak, table.size());
+  }
+  // Retained set is bounded by decay_blocks × per-block ids (+ hot), far
+  // below the shrink threshold.
+  EXPECT_LE(peak, kDecay * (kPerBlock + 1));
+  // Every cold id aged out on schedule (10 per reset once the horizon
+  // filled: resets 3..49) and the hot lock — idle 0 at every sweep — was
+  // never one of them.
+  EXPECT_EQ(table.evicted(), 470u);
+}
+
 // ------------------------------------------- Parallel stress (smoke) ---
 
 TEST(StmStress, ManyThreadsDisjointLocksAllCommit) {

@@ -159,5 +159,37 @@ TEST(WorldSnapshotHandle, MaterializeMintsIndependentReplicas) {
   EXPECT_EQ(snapshot.world().state_root(), handle.state_root());
 }
 
+TEST(WorldSnapshotHandle, EmptyHandleIsInvalidWithZeroRoot) {
+  const WorldSnapshot empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_TRUE(empty.state_root().is_zero());
+
+  const auto world = make_six_contract_world();
+  const WorldSnapshot frozen(*world);
+  EXPECT_TRUE(frozen.valid());
+  EXPECT_FALSE(frozen.state_root().is_zero());
+}
+
+TEST(WorldSnapshotHandle, UseCountTracksSharedHandles) {
+  const auto world = make_six_contract_world();
+  WorldSnapshot snapshot(*world);
+  EXPECT_EQ(snapshot.use_count(), 1);
+  {
+    const WorldSnapshot shared = snapshot;  // The ring-entry case.
+    EXPECT_EQ(snapshot.use_count(), 2);
+    EXPECT_EQ(shared.use_count(), 2);
+    // Materializing clones the state; it does not pin another handle.
+    const auto replica = shared.materialize();
+    EXPECT_EQ(snapshot.use_count(), 2);
+  }
+  EXPECT_EQ(snapshot.use_count(), 1);
+
+  // A moved-from handle releases its share and reads as empty.
+  const WorldSnapshot taken = std::move(snapshot);
+  EXPECT_EQ(taken.use_count(), 1);
+  EXPECT_TRUE(taken.valid());
+}
+
 }  // namespace
 }  // namespace concord::vm
