@@ -36,7 +36,7 @@ struct ModeResult {
   }
 };
 
-/// One full stream run: one genesis world (the node clones the
+/// One full stream run: one genesis world (the node forks the
 /// validator's replica itself), a producer thread feeding the mempool,
 /// the node driving both stages to drain. `pipeline_depth` is the
 /// handoff ring's capacity; ignored by the sequential baseline.

@@ -28,9 +28,10 @@ int main() {
   spec.txs_per_block = 80;
   spec.conflict_percent = 20;
 
-  // One genesis world. The node snapshots it at construction and clones
-  // the validator's replica from the snapshot, so both stages share a
-  // single state by construction.
+  // One genesis world. The node snapshots it at construction and forks
+  // the validator's replica from the snapshot (a COW page-sharing fork,
+  // not a deep copy), so both stages share a single state by
+  // construction.
   workload::Fixture fixture = workload::make_stream_fixture(spec);
   std::vector<chain::Transaction> stream = std::move(fixture.transactions);
 

@@ -150,10 +150,10 @@ void Ballot::hash_state(vm::StateHasher& hasher) const {
   vote_counts_.hash_state(hasher, "voteCounts");
 }
 
-std::unique_ptr<vm::Contract> Ballot::clone() const {
+std::unique_ptr<vm::Contract> Ballot::fork() const {
   auto copy = std::make_unique<Ballot>(address(), chairperson_, names_);
-  copy->voters_.clone_state_from(voters_);
-  copy->vote_counts_.clone_state_from(vote_counts_);
+  copy->voters_.fork_state_from(voters_);
+  copy->vote_counts_.fork_state_from(vote_counts_);
   return copy;
 }
 

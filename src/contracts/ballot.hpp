@@ -60,7 +60,7 @@ class Ballot final : public vm::Contract {
 
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
-  [[nodiscard]] std::unique_ptr<vm::Contract> clone() const override;
+  [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
 
   // --- Typed API (Appendix A functions) --------------------------------
 

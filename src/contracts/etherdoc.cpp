@@ -120,11 +120,11 @@ void EtherDoc::hash_state(vm::StateHasher& hasher) const {
   owner_docs_.hash_state(hasher, "ownerDocs");
 }
 
-std::unique_ptr<vm::Contract> EtherDoc::clone() const {
+std::unique_ptr<vm::Contract> EtherDoc::fork() const {
   auto copy = std::make_unique<EtherDoc>(address(), creator_);
-  copy->documents_.clone_state_from(documents_);
-  copy->owner_counts_.clone_state_from(owner_counts_);
-  copy->owner_docs_.clone_state_from(owner_docs_);
+  copy->documents_.fork_state_from(documents_);
+  copy->owner_counts_.fork_state_from(owner_counts_);
+  copy->owner_docs_.fork_state_from(owner_docs_);
   return copy;
 }
 

@@ -85,10 +85,10 @@ void KvStore::hash_state(vm::StateHasher& hasher) const {
   }
 }
 
-std::unique_ptr<vm::Contract> KvStore::clone() const {
+std::unique_ptr<vm::Contract> KvStore::fork() const {
   auto copy = std::make_unique<KvStore>(address(), backend_);
-  copy->eager_.clone_state_from(eager_);
-  copy->lazy_.clone_state_from(lazy_);
+  copy->eager_.fork_state_from(eager_);
+  copy->lazy_.fork_state_from(lazy_);
   return copy;
 }
 

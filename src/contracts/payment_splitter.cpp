@@ -62,9 +62,9 @@ void PaymentSplitter::hash_state(vm::StateHasher& hasher) const {
   stats_.hash_state(hasher, "stats");
 }
 
-std::unique_ptr<vm::Contract> PaymentSplitter::clone() const {
+std::unique_ptr<vm::Contract> PaymentSplitter::fork() const {
   auto copy = std::make_unique<PaymentSplitter>(address(), token_, payees_);
-  copy->stats_.clone_state_from(stats_);
+  copy->stats_.fork_state_from(stats_);
   return copy;
 }
 

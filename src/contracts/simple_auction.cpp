@@ -101,12 +101,12 @@ void SimpleAuction::hash_state(vm::StateHasher& hasher) const {
   ended_.hash_state(hasher, "ended");
 }
 
-std::unique_ptr<vm::Contract> SimpleAuction::clone() const {
+std::unique_ptr<vm::Contract> SimpleAuction::fork() const {
   auto copy = std::make_unique<SimpleAuction>(address(), beneficiary_);
-  copy->highest_bidder_.clone_state_from(highest_bidder_);
-  copy->highest_bid_.clone_state_from(highest_bid_);
-  copy->pending_returns_.clone_state_from(pending_returns_);
-  copy->ended_.clone_state_from(ended_);
+  copy->highest_bidder_.fork_state_from(highest_bidder_);
+  copy->highest_bid_.fork_state_from(highest_bid_);
+  copy->pending_returns_.fork_state_from(pending_returns_);
+  copy->ended_.fork_state_from(ended_);
   return copy;
 }
 

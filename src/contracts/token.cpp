@@ -80,9 +80,9 @@ void Token::hash_state(vm::StateHasher& hasher) const {
   balances_.hash_state(hasher, "balances");
 }
 
-std::unique_ptr<vm::Contract> Token::clone() const {
+std::unique_ptr<vm::Contract> Token::fork() const {
   auto copy = std::make_unique<Token>(address(), symbol_, issuer_);
-  copy->balances_.clone_state_from(balances_);
+  copy->balances_.fork_state_from(balances_);
   return copy;
 }
 

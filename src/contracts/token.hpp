@@ -26,7 +26,7 @@ class Token final : public vm::Contract {
 
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
-  [[nodiscard]] std::unique_ptr<vm::Contract> clone() const override;
+  [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
 
   /// Moves `amount` from msg.sender to `to`. The debit reads the sender's
   /// balance (overdraft check) and writes it — an exclusive for-update

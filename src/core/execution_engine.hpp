@@ -53,8 +53,10 @@ class ExecutionEngine {
   /// Re-points the engine at a different world, config unchanged — the
   /// re-org recovery path: after a rejected block invalidates a stage's
   /// state, the node materializes a fresh world from the last accepted
-  /// boundary snapshot and the stage resumes on it. Must not be called
-  /// while a transaction is executing.
+  /// boundary snapshot (a COW fork sharing the frozen pages — O(contracts),
+  /// so rebinding after a re-org is cheap at any state size) and the
+  /// stage resumes on it. Must not be called while a transaction is
+  /// executing.
   void rebind(vm::World& world) noexcept { world_ = &world; }
 
   /// Plain serial execution: storage ops go straight to data, no capture.

@@ -25,7 +25,7 @@ std::unique_ptr<vm::World> require_world(std::unique_ptr<vm::World> world) {
 }
 
 /// Validated before any member is built: an invalid config must fail
-/// fast, not after two world deep-clones and two stage thread pools.
+/// fast, not after two world forks and two stage thread pools.
 NodeConfig require_config(NodeConfig config) {
   if (config.miner.exclusive_locks_only != config.validator.exclusive_locks_only) {
     throw std::invalid_argument("node: miner/validator disagree on exclusive_locks_only");
@@ -38,9 +38,9 @@ NodeConfig require_config(NodeConfig config) {
 
 }  // namespace
 
-// Both stages are clones of one snapshot, so their genesis roots agree
-// by construction — the old dual-world drift guard has nothing left to
-// check.
+// Both stages are COW forks of one snapshot, so their genesis roots
+// agree by construction — the old dual-world drift guard has nothing
+// left to check.
 Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
     : config_(require_config(std::move(config))),
       miner_world_(require_world(std::move(world))),
@@ -101,8 +101,10 @@ void Node::run_sequential() {
 
     if (validate_and_append(std::move(block), validate_ms)) {
       if (recovery_enabled()) {
+        // An O(contracts) COW fork; the accepted block's verified root
+        // seeds the snapshot so no O(state) hash runs either.
         const auto t_snapshot = Clock::now();
-        boundary = vm::WorldSnapshot(*miner_world_);
+        boundary = vm::WorldSnapshot(*miner_world_, parent.header.state_root);
         snapshot_ms += ms_since(t_snapshot);
       }
       continue;
@@ -218,7 +220,7 @@ void Node::run_pipelined() {
   // point, rebuild the mining world from the last accepted boundary and
   // resume on top of the last accepted block. The boundary snapshot is
   // shared with the recovery point — the resumed world *is* that state,
-  // so no fresh clone is needed until the next block is accepted.
+  // so no fresh snapshot is needed until the next block is accepted.
   const auto recover = [&] {
     const auto t_recover = Clock::now();
     RecoveryPoint point = ring.acknowledge_abort();
@@ -263,7 +265,14 @@ void Node::run_pipelined() {
 
       if (recovery_enabled()) {
         // Freeze the post-block state: the pre-state boundary of the
-        // next block. Overlaps with validation of everything in flight.
+        // next block. An O(contracts) COW fork — the miner detaches the
+        // pages it dirties as it keeps mining. The root stays lazy and
+        // is NOT seeded from the mined block's claimed root: that claim
+        // is unvalidated here (a corrupt one would poison the cache for
+        // any future consumer, e.g. mid-block read serving), and in
+        // steady state nobody reads a boundary root anyway — only
+        // exceptional paths do, and they hash the frozen world honestly
+        // on first demand.
         const auto t_snapshot = Clock::now();
         boundary = vm::WorldSnapshot(*miner_world_);
         snapshot_ms += ms_since(t_snapshot);

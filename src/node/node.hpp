@@ -48,7 +48,7 @@ struct NodeConfig {
   /// Legacy fatal-rejection contract: stop the node at the first
   /// rejected block instead of recovering. Also skips the per-block
   /// boundary snapshots recovery needs, so a halt-on-rejection node has
-  /// zero clone overhead per block. With the default (false), a
+  /// zero snapshot overhead per block. With the default (false), a
   /// rejection aborts the speculative suffix, re-materializes both
   /// stages from the last accepted boundary snapshot, and the node keeps
   /// processing the stream (see Node class comment).
@@ -95,7 +95,12 @@ struct NodeStats {
   std::uint64_t recoveries = 0;
   double recovery_ms = 0.0;      ///< Time re-materializing worlds after rejections.
   /// Time spent freezing per-block boundary snapshots — the steady-state
-  /// price of recoverability (O(state) clones until the COW world lands).
+  /// price of recoverability. Since the COW state layer landed this is an
+  /// O(contracts) page-sharing fork (no state hash either: the root is
+  /// lazy, and where one is already verified — sequential mode, genesis —
+  /// it seeds the cache), so it should stay flat as state grows; the real
+  /// cost surfaces as detach-on-write inside mine_ms, proportional to
+  /// each block's dirty set.
   double snapshot_ms = 0.0;
   /// Max mined-but-unvalidated blocks in flight at once (≤ pipeline_depth).
   std::size_t ring_high_water = 0;
@@ -150,7 +155,7 @@ struct NodeStats {
 class Node {
  public:
   /// Takes ownership of the genesis world; the validator's replica is
-  /// cloned from it internally. Throws std::invalid_argument when
+  /// forked from it internally. Throws std::invalid_argument when
   /// `world` is null, the miner/validator configs disagree on lock
   /// semantics, or pipeline_depth is 0.
   Node(std::unique_ptr<vm::World> world, NodeConfig config);

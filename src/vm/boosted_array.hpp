@@ -10,6 +10,7 @@
 #include "stm/lock_id.hpp"
 #include "stm/lock_mode.hpp"
 #include "vm/codec.hpp"
+#include "vm/cow.hpp"
 #include "vm/errors.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/gas.hpp"
@@ -55,7 +56,7 @@ class BoostedArray {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(element_lock(index), stm::LockMode::kRead);
     std::scoped_lock lk(mu_);
-    return data_[index];
+    return data_.at(index);
   }
 
   void set(ExecContext& ctx, std::uint64_t index, T value) {
@@ -65,11 +66,12 @@ class BoostedArray {
     T old;
     {
       std::scoped_lock lk(mu_);
-      old = std::exchange(data_[index], std::move(value));
+      old = data_.at(index);
+      data_.set(index, std::move(value));
     }
     ctx.log_inverse([this, index, old = std::move(old)]() {
       std::scoped_lock lk(mu_);
-      if (index < data_.size()) data_[index] = old;
+      if (index < data_.size()) data_.set(index, old);
     });
   }
 
@@ -83,11 +85,11 @@ class BoostedArray {
     ctx.on_storage_op(element_lock(index), stm::LockMode::kIncrement);
     {
       std::scoped_lock lk(mu_);
-      data_[index] += delta;
+      data_.mutate(index, [delta](T& value) { value += delta; });
     }
     ctx.log_inverse([this, index, delta]() {
       std::scoped_lock lk(mu_);
-      if (index < data_.size()) data_[index] -= delta;
+      if (index < data_.size()) data_.mutate(index, [delta](T& value) { value -= delta; });
     });
   }
 
@@ -126,7 +128,7 @@ class BoostedArray {
     T old;
     {
       std::scoped_lock lk(mu_);
-      old = std::move(data_.back());
+      old = data_.back();
       data_.pop_back();
     }
     ctx.log_inverse([this, old = std::move(old)]() {
@@ -137,13 +139,15 @@ class BoostedArray {
 
   // --- Non-transactional access ----------------------------------------
 
-  /// Deep-copies `other`'s elements into this array (World::clone).
-  void clone_state_from(const BoostedArray& other) {
+  /// Copy-on-write fork (World::fork): shares `other`'s element chunks in
+  /// O(1); the first set/push/pop on either side detaches only the
+  /// touched chunk.
+  void fork_state_from(const BoostedArray& other) {
     if (space_ != other.space_) {
-      throw std::logic_error("BoostedArray::clone_state_from: lock-space mismatch");
+      throw std::logic_error("BoostedArray::fork_state_from: lock-space mismatch");
     }
     std::scoped_lock lk(mu_, other.mu_);
-    data_ = other.data_;
+    data_ = other.data_.fork();
   }
 
   void raw_push_back(T value) {
@@ -153,6 +157,7 @@ class BoostedArray {
 
   [[nodiscard]] T raw_get(std::uint64_t index) const {
     std::scoped_lock lk(mu_);
+    if (index >= data_.size()) throw std::out_of_range("BoostedArray::raw_get");
     return data_.at(index);
   }
 
@@ -165,7 +170,7 @@ class BoostedArray {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);
     hasher.put_u64(data_.size());
-    for (const T& value : data_) hasher.put_bytes(encoded_bytes(value));
+    data_.for_each([&hasher](const T& value) { hasher.put_bytes(encoded_bytes(value)); });
   }
 
   [[nodiscard]] std::uint64_t space() const noexcept { return space_; }
@@ -189,7 +194,7 @@ class BoostedArray {
 
   std::uint64_t space_;
   mutable std::mutex mu_;
-  std::vector<T> data_;
+  CowChunks<T> data_;
 };
 
 }  // namespace concord::vm

@@ -5,7 +5,6 @@
 #include <mutex>
 #include <stdexcept>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "stm/lock_mode.hpp"
 #include "vm/boosted_map.hpp"
 #include "vm/codec.hpp"
+#include "vm/cow.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/gas.hpp"
 #include "vm/state_hasher.hpp"
@@ -52,8 +52,8 @@ class BoostedCounterMap {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? it->second : 0;
+    const Value* value = data_.find(key);
+    return value != nullptr ? *value : 0;
   }
 
   /// Reads the total for `key` while acquiring the lock in WRITE mode
@@ -63,8 +63,8 @@ class BoostedCounterMap {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? it->second : 0;
+    const Value* value = data_.find(key);
+    return value != nullptr ? *value : 0;
   }
 
   /// Adds `delta` to the total for `key`. INCREMENT mode — commutes with
@@ -86,8 +86,8 @@ class BoostedCounterMap {
     Value old = 0;
     {
       std::scoped_lock lk(mu_);
-      const auto it = data_.find(key);
-      old = it != data_.end() ? it->second : 0;
+      const Value* existing = data_.find(key);
+      old = existing != nullptr ? *existing : 0;
       store_normalized(key, value);
     }
     ctx.log_inverse([this, key, old]() {
@@ -98,15 +98,17 @@ class BoostedCounterMap {
 
   // --- Non-transactional access (genesis state, tests, inspection) ----
 
-  /// Deep-copies `other`'s persistent state into this map (World::clone).
-  /// The zero-normalization invariant carries over with the copy, so the
-  /// clone's state root matches by construction.
-  void clone_state_from(const BoostedCounterMap& other) {
+  /// Copy-on-write fork (World::fork): adopts `other`'s committed state
+  /// as a shared-page replica in O(1); first mutation on either side
+  /// detaches only the touched page. The zero-normalization invariant
+  /// travels with the shared pages, so the fork's state root matches by
+  /// construction.
+  void fork_state_from(const BoostedCounterMap& other) {
     if (space_ != other.space_) {
-      throw std::logic_error("BoostedCounterMap::clone_state_from: lock-space mismatch");
+      throw std::logic_error("BoostedCounterMap::fork_state_from: lock-space mismatch");
     }
     std::scoped_lock lk(mu_, other.mu_);
-    data_ = other.data_;
+    data_ = other.data_.fork();
   }
 
   void raw_set(const K& key, Value value) {
@@ -116,8 +118,8 @@ class BoostedCounterMap {
 
   [[nodiscard]] Value raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? it->second : 0;
+    const Value* value = data_.find(key);
+    return value != nullptr ? *value : 0;
   }
 
   /// Number of non-zero entries.
@@ -130,7 +132,7 @@ class BoostedCounterMap {
   [[nodiscard]] Value raw_total() const {
     std::scoped_lock lk(mu_);
     Value total = 0;
-    for (const auto& [key, value] : data_) total += value;
+    data_.for_each([&total](const K&, Value value) { total += value; });
     return total;
   }
 
@@ -139,9 +141,9 @@ class BoostedCounterMap {
     std::scoped_lock lk(mu_);
     std::vector<std::pair<std::vector<std::uint8_t>, Value>> items;
     items.reserve(data_.size());
-    for (const auto& [key, value] : data_) {
+    data_.for_each([&items](const K& key, Value value) {
       items.emplace_back(encoded_bytes(key), value);
-    }
+    });
     std::sort(items.begin(), items.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     hasher.put_u64(items.size());
@@ -161,31 +163,23 @@ class BoostedCounterMap {
   /// Caller may or may not hold mu_ — this variant takes it.
   void raw_add(const K& key, Value delta) {
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    const Value current = it != data_.end() ? it->second : 0;
-    store_normalized_at(it, key, current + delta);
-  }
-
-  /// Caller holds mu_.
-  void store_normalized(const K& key, Value value) {
-    store_normalized_at(data_.find(key), key, value);
+    const Value* existing = data_.find(key);
+    const Value current = existing != nullptr ? *existing : 0;
+    store_normalized(key, current + delta);
   }
 
   /// Caller holds mu_. Maintains the no-zero-entries invariant.
-  void store_normalized_at(typename std::unordered_map<K, Value, StableKeyHash>::iterator it,
-                           const K& key, Value value) {
+  void store_normalized(const K& key, Value value) {
     if (value == 0) {
-      if (it != data_.end()) data_.erase(it);
-    } else if (it != data_.end()) {
-      it->second = value;
+      data_.erase(key);
     } else {
-      data_.emplace(key, value);
+      data_.insert_or_assign(key, value);
     }
   }
 
   std::uint64_t space_;
   mutable std::mutex mu_;
-  std::unordered_map<K, Value, StableKeyHash> data_;
+  CowPages<K, Value, StableKeyHash> data_;
 };
 
 }  // namespace concord::vm

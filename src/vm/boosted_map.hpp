@@ -6,13 +6,13 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "stm/lock_id.hpp"
 #include "stm/lock_mode.hpp"
 #include "vm/codec.hpp"
+#include "vm/cow.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/gas.hpp"
 #include "vm/state_hasher.hpp"
@@ -38,8 +38,14 @@ struct StableKeyHash {
 /// the ExecContext — which acquires the per-key abstract lock when mining
 /// speculatively — then (3) applies to the underlying table under a short
 /// internal mutex (the abstract lock provides *logical* isolation; the
-/// mutex protects the *physical* hash table, e.g. against concurrent
-/// rehash), and (4) logs its inverse for rollback.
+/// mutex protects the *physical* store, e.g. against a concurrent page
+/// detach), and (4) logs its inverse for rollback.
+///
+/// The physical store is a CowPages: committed state lives in immutable
+/// pages shared with every fork of this map (fork_state_from), and a
+/// write detaches a private copy of just the page it touches. Distinct
+/// forks need no cross-instance locking — shared pages are never mutated
+/// in place.
 ///
 /// K must be one of the lock_key_of-supported key types; V must be
 /// encodable (see codec.hpp) and copyable (old values are captured by
@@ -61,8 +67,8 @@ class BoostedMap {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   /// Reads the value bound to `key`, or `fallback` when unbound. This is
@@ -81,8 +87,8 @@ class BoostedMap {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   [[nodiscard]] bool contains(ExecContext& ctx, const K& key) const {
@@ -100,8 +106,8 @@ class BoostedMap {
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);
-      const auto it = data_.find(key);
-      if (it != data_.end()) old = it->second;
+      const V* existing = data_.find(key);
+      if (existing != nullptr) old = *existing;
       data_.insert_or_assign(key, std::move(value));
     }
     ctx.log_inverse([this, key, old = std::move(old)]() {
@@ -123,10 +129,10 @@ class BoostedMap {
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);
-      const auto it = data_.find(key);
-      if (it == data_.end()) return false;
-      old = std::move(it->second);
-      data_.erase(it);
+      const V* existing = data_.find(key);
+      if (existing == nullptr) return false;
+      old = *existing;
+      data_.erase(key);
     }
     ctx.log_inverse([this, key, old = std::move(old)]() {
       std::scoped_lock lk(mu_);
@@ -147,9 +153,10 @@ class BoostedMap {
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);
-      auto [it, inserted] = data_.try_emplace(key, std::move(fallback));
-      if (!inserted) old = it->second;
-      fn(it->second);
+      bool inserted = false;
+      V& slot = data_.get_or_emplace(key, std::move(fallback), &inserted);
+      if (!inserted) old = slot;
+      fn(slot);
     }
     ctx.log_inverse([this, key, old = std::move(old)]() {
       std::scoped_lock lk(mu_);
@@ -163,15 +170,17 @@ class BoostedMap {
 
   // --- Non-transactional access (genesis state, tests, inspection) ----
 
-  /// Deep-copies `other`'s persistent state into this map (World::clone).
-  /// Both maps must have been built over the same lock space — cloned
-  /// state keeps its conflict structure by construction.
-  void clone_state_from(const BoostedMap& other) {
+  /// Copy-on-write fork (World::fork): adopts `other`'s committed state
+  /// as a shared-page replica in O(1). Neither side observes the other's
+  /// later writes — the first mutation on either side detaches only the
+  /// touched page. Both maps must have been built over the same lock
+  /// space, so forked state keeps its conflict structure by construction.
+  void fork_state_from(const BoostedMap& other) {
     if (space_ != other.space_) {
-      throw std::logic_error("BoostedMap::clone_state_from: lock-space mismatch");
+      throw std::logic_error("BoostedMap::fork_state_from: lock-space mismatch");
     }
     std::scoped_lock lk(mu_, other.mu_);
-    data_ = other.data_;
+    data_ = other.data_.fork();
   }
 
   void raw_put(const K& key, V value) {
@@ -181,8 +190,8 @@ class BoostedMap {
 
   [[nodiscard]] std::optional<V> raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -197,9 +206,9 @@ class BoostedMap {
     std::scoped_lock lk(mu_);
     std::vector<std::pair<std::vector<std::uint8_t>, const V*>> items;
     items.reserve(data_.size());
-    for (const auto& [key, value] : data_) {
+    data_.for_each([&items](const K& key, const V& value) {
       items.emplace_back(encoded_bytes(key), &value);
-    }
+    });
     std::sort(items.begin(), items.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     hasher.put_u64(items.size());
@@ -218,7 +227,7 @@ class BoostedMap {
 
   std::uint64_t space_;
   mutable std::mutex mu_;
-  std::unordered_map<K, V, StableKeyHash> data_;
+  CowPages<K, V, StableKeyHash> data_;
 };
 
 }  // namespace concord::vm

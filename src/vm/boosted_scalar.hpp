@@ -9,6 +9,7 @@
 #include "stm/lock_id.hpp"
 #include "stm/lock_mode.hpp"
 #include "vm/codec.hpp"
+#include "vm/cow.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/gas.hpp"
 #include "vm/state_hasher.hpp"
@@ -35,7 +36,7 @@ class BoostedScalar {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(), stm::LockMode::kRead);
     std::scoped_lock lk(mu_);
-    return value_;
+    return value_.get();
   }
 
   /// Reads the value while acquiring the lock in WRITE mode — the
@@ -49,7 +50,7 @@ class BoostedScalar {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(), stm::LockMode::kWrite);
     std::scoped_lock lk(mu_);
-    return value_;
+    return value_.get();
   }
 
   /// Replaces the value. WRITE mode.
@@ -59,11 +60,11 @@ class BoostedScalar {
     T old;
     {
       std::scoped_lock lk(mu_);
-      old = std::exchange(value_, std::move(value));
+      old = std::exchange(value_.mutable_ref(), std::move(value));
     }
     ctx.log_inverse([this, old = std::move(old)]() {
       std::scoped_lock lk(mu_);
-      value_ = old;
+      value_.set(old);
     });
   }
 
@@ -75,39 +76,40 @@ class BoostedScalar {
     ctx.on_storage_op(lock_id(), stm::LockMode::kIncrement);
     {
       std::scoped_lock lk(mu_);
-      value_ += delta;
+      value_.mutable_ref() += delta;
     }
     ctx.log_inverse([this, delta]() {
       std::scoped_lock lk(mu_);
-      value_ -= delta;
+      value_.mutable_ref() -= delta;
     });
   }
 
   // --- Non-transactional access ---------------------------------------
 
-  /// Deep-copies `other`'s value into this scalar (World::clone).
-  void clone_state_from(const BoostedScalar& other) {
+  /// Copy-on-write fork (World::fork): shares `other`'s boxed value; the
+  /// first set() on either side detaches a private copy.
+  void fork_state_from(const BoostedScalar& other) {
     if (space_ != other.space_) {
-      throw std::logic_error("BoostedScalar::clone_state_from: lock-space mismatch");
+      throw std::logic_error("BoostedScalar::fork_state_from: lock-space mismatch");
     }
     std::scoped_lock lk(mu_, other.mu_);
-    value_ = other.value_;
+    value_ = other.value_.fork();
   }
 
   [[nodiscard]] T raw_get() const {
     std::scoped_lock lk(mu_);
-    return value_;
+    return value_.get();
   }
 
   void raw_set(T value) {
     std::scoped_lock lk(mu_);
-    value_ = std::move(value);
+    value_.set(std::move(value));
   }
 
   void hash_state(StateHasher& hasher, std::string_view label) const {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);
-    hasher.put_bytes(encoded_bytes(value_));
+    hasher.put_bytes(encoded_bytes(value_.get()));
   }
 
   [[nodiscard]] std::uint64_t space() const noexcept { return space_; }
@@ -117,7 +119,7 @@ class BoostedScalar {
 
   std::uint64_t space_;
   mutable std::mutex mu_;
-  T value_;
+  CowBox<T> value_;
 };
 
 }  // namespace concord::vm

@@ -22,12 +22,12 @@ Contract& ContractRegistry::at(const Address& address) const {
   return *contract;
 }
 
-ContractRegistry ContractRegistry::clone() const {
-  ContractRegistry copy;
+ContractRegistry ContractRegistry::fork() const {
+  ContractRegistry replica;
   for (const auto& [address, contract] : contracts_) {
-    copy.contracts_.emplace(address, contract->clone());
+    replica.contracts_.emplace(address, contract->fork());
   }
-  return copy;
+  return replica;
 }
 
 void ContractRegistry::hash_state(StateHasher& hasher) const {

@@ -46,13 +46,16 @@ class Contract {
   /// Folds the contract's complete persistent state into `hasher`.
   virtual void hash_state(StateHasher& hasher) const = 0;
 
-  /// Deep-copies this contract — address, construction parameters, and
-  /// every boosted field's persistent state — into an independent
-  /// instance. Because lock spaces derive from (address, field name), a
-  /// clone reproduces the original's conflict structure exactly, and
-  /// hash_state() over the clone matches by construction. Called between
-  /// blocks only (no speculative action may be live in this contract).
-  [[nodiscard]] virtual std::unique_ptr<Contract> clone() const = 0;
+  /// Copy-on-write fork of this contract — address and construction
+  /// parameters copied, every boosted field's committed state adopted as
+  /// a shared-page replica (fork_state_from), so the fork is O(fields)
+  /// regardless of state size and the first write on either side detaches
+  /// only the touched page. Because lock spaces derive from (address,
+  /// field name), a fork reproduces the original's conflict structure
+  /// exactly, and hash_state() over the fork matches by construction.
+  /// Called between blocks only (no speculative action may be live in
+  /// this contract).
+  [[nodiscard]] virtual std::unique_ptr<Contract> fork() const = 0;
 
  protected:
   /// Deterministic abstract-lock space for a state variable of this
@@ -90,8 +93,9 @@ class ContractRegistry {
 
   [[nodiscard]] std::size_t size() const noexcept { return contracts_.size(); }
 
-  /// Deep-copies the registry: every contract cloned, same address set.
-  [[nodiscard]] ContractRegistry clone() const;
+  /// Forks the registry: every contract COW-forked, same address set.
+  /// O(contracts), independent of how much state they hold.
+  [[nodiscard]] ContractRegistry fork() const;
 
   /// Folds every contract's state, in address order.
   void hash_state(StateHasher& hasher) const;

@@ -1,0 +1,340 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace concord::vm {
+
+/// Copy-on-write backing stores for the boosted collections.
+///
+/// Every collection keeps its committed state behind one of these value
+/// types. Copying one is the *fork* operation: it shares the underlying
+/// pages through shared_ptr handles in O(1), and the first mutation after
+/// a fork detaches only what it touches (ensure-unique on write). That is
+/// what makes `World::fork()` an O(contracts) operation and a block-
+/// boundary `WorldSnapshot` O(dirty set since the last boundary) instead
+/// of O(state) — the frozen side of a fork keeps reading the shared pages
+/// while the mutable side peels off private copies entry by entry.
+///
+/// Concurrency contract (matches the collections' existing one): all
+/// access to a *given* CowPages/CowChunks/CowBox instance must be
+/// externally serialized (the collections hold their short physical mutex
+/// across every call). Distinct instances that *share pages* may be used
+/// from different threads freely: shared pages are never mutated in
+/// place — a writer first proves sole ownership (sole_owner below) or
+/// copies. The uniqueness check is sound because gaining a new reference
+/// to a page requires copying a handle that owns it, which the owning
+/// instance's external lock serializes; a concurrent *release* elsewhere
+/// can only make a page spuriously look shared, forcing a harmless copy.
+
+namespace cow_detail {
+
+/// splitmix64 finalizer (local copy — cow.hpp stays dependency-free).
+/// Page indices must stay well-distributed even when the caller's hash is
+/// only mixed in the high bits.
+[[nodiscard]] constexpr std::uint64_t remix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// True when `handle` is the only owner, with the memory ordering that
+/// makes in-place mutation after the check sound. use_count() loads
+/// relaxed, so observing 1 alone does not synchronize with the thread
+/// that just *released* the other reference — its reads of the page
+/// could still race with our upcoming writes (the reason
+/// shared_ptr::unique() was deprecated). The acquire fence pairs with
+/// the release semantics of that final refcount decrement, ordering the
+/// releaser's accesses before ours.
+template <typename T>
+[[nodiscard]] inline bool sole_owner(const std::shared_ptr<T>& handle) noexcept {
+  if (handle.use_count() != 1) return false;
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return true;
+}
+
+}  // namespace cow_detail
+
+/// A paged COW hash table: the map form all three boosted maps build on.
+///
+/// Two-level structure, copy-on-write at both levels:
+///   directory (shared_ptr) ──▶ [ page*, page*, … ]  each page (shared_ptr)
+///                                                    ──▶ small vector of
+///                                                        (key, value)
+/// Copying a CowPages copies one shared_ptr. The first write after a fork
+/// copies the directory (a vector of page handles, ~size/kTargetFill
+/// entries) and the one touched page (≤ ~2·kTargetFill entries); every
+/// further write to an already-private page is as cheap as before the
+/// fork. Pages are small unsorted vectors searched linearly — at the
+/// target fill that beats a per-page hash table on both copy cost and
+/// memory, and iteration order never matters because the state hasher
+/// sorts by encoded key.
+template <typename K, typename V, typename Hash>
+class CowPages {
+ public:
+  CowPages() : dir_(std::make_shared<Dir>(1, std::make_shared<Page>())) {}
+
+  /// Copying IS forking: O(1), shares the directory and every page.
+  CowPages(const CowPages&) = default;
+  CowPages& operator=(const CowPages&) = default;
+  CowPages(CowPages&&) noexcept = default;
+  CowPages& operator=(CowPages&&) noexcept = default;
+
+  /// Named fork for call-site readability.
+  [[nodiscard]] CowPages fork() const { return *this; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of pages in the directory (diagnostic; forks copy this many
+  /// handles on their first post-fork write).
+  [[nodiscard]] std::size_t page_count() const noexcept { return dir_->size(); }
+
+  [[nodiscard]] const V* find(const K& key) const {
+    const Page& page = *(*dir_)[page_index(key)];
+    for (const auto& entry : page) {
+      if (entry.first == key) return &entry.second;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const { return find(key) != nullptr; }
+
+  void insert_or_assign(const K& key, V value) {
+    Page& page = mutable_page_for(key);
+    for (auto& entry : page) {
+      if (entry.first == key) {
+        entry.second = std::move(value);
+        return;
+      }
+    }
+    if (grow_if_needed()) {
+      // The directory was rebuilt; the old page reference is stale.
+      mutable_page_for(key).emplace_back(key, std::move(value));
+    } else {
+      page.emplace_back(key, std::move(value));
+    }
+    ++size_;
+  }
+
+  /// Returns whether a binding existed.
+  bool erase(const K& key) {
+    Page& page = mutable_page_for(key);
+    for (auto& entry : page) {
+      if (entry.first == key) {
+        // Swap-remove; order within a page is free (the hasher sorts).
+        if (&entry != &page.back()) entry = std::move(page.back());
+        page.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The read-modify-write primitive behind BoostedMap::update: detaches
+  /// the page, binds `fallback` when the key is absent, and returns a
+  /// mutable reference valid until the next call on this instance.
+  /// `inserted` (optional) reports whether the fallback was used.
+  V& get_or_emplace(const K& key, V fallback, bool* inserted = nullptr) {
+    Page& page = mutable_page_for(key);
+    for (auto& entry : page) {
+      if (entry.first == key) {
+        if (inserted != nullptr) *inserted = false;
+        return entry.second;
+      }
+    }
+    if (inserted != nullptr) *inserted = true;
+    ++size_;
+    if (grow_if_needed()) {
+      Page& fresh = mutable_page_for(key);
+      return fresh.emplace_back(key, std::move(fallback)).second;
+    }
+    return page.emplace_back(key, std::move(fallback)).second;
+  }
+
+  /// Visits every entry as fn(const K&, const V&); unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& page : *dir_) {
+      for (const auto& entry : *page) fn(entry.first, entry.second);
+    }
+  }
+
+ private:
+  using Page = std::vector<std::pair<K, V>>;
+  using Dir = std::vector<std::shared_ptr<Page>>;
+
+  /// Average entries per page before the directory doubles. Small enough
+  /// that a post-fork detach copies a handful of entries; large enough
+  /// that the directory (copied wholesale on the first post-fork write)
+  /// stays a fraction of the entry count.
+  static constexpr std::size_t kTargetFill = 8;
+
+  [[nodiscard]] std::size_t page_index(const K& key) const noexcept {
+    return static_cast<std::size_t>(cow_detail::remix64(Hash{}(key))) & (dir_->size() - 1);
+  }
+
+  /// Ensure-unique on write, both levels: private directory, then a
+  /// private copy of the page the key lands in.
+  Page& mutable_page_for(const K& key) {
+    if (!cow_detail::sole_owner(dir_)) dir_ = std::make_shared<Dir>(*dir_);
+    auto& slot = (*dir_)[page_index(key)];
+    if (!cow_detail::sole_owner(slot)) slot = std::make_shared<Page>(*slot);
+    return *slot;
+  }
+
+  /// Doubles the directory when the average fill exceeds the target.
+  /// Returns true when pages moved (references into them are stale).
+  /// O(size) when it fires, amortized O(1) per insert — and it only runs
+  /// on a *growing* lineage, never as part of fork or snapshot.
+  bool grow_if_needed() {
+    if (size_ < dir_->size() * kTargetFill) return false;
+    const std::size_t new_pages = dir_->size() * 2;
+    auto grown = std::make_shared<Dir>();
+    grown->reserve(new_pages);
+    for (std::size_t i = 0; i < new_pages; ++i) {
+      grown->push_back(std::make_shared<Page>());
+    }
+    for (const auto& page : *dir_) {
+      for (const auto& entry : *page) {
+        const std::size_t idx =
+            static_cast<std::size_t>(cow_detail::remix64(Hash{}(entry.first))) & (new_pages - 1);
+        (*grown)[idx]->push_back(entry);
+      }
+    }
+    dir_ = std::move(grown);
+    return true;
+  }
+
+  std::shared_ptr<Dir> dir_;
+  std::size_t size_ = 0;
+};
+
+/// A chunked COW vector: BoostedArray's backing store. Same two-level
+/// scheme as CowPages with fixed-capacity chunks, so set/push/pop after a
+/// fork detach one chunk (≤ kChunkCapacity elements), not the array.
+template <typename T>
+class CowChunks {
+ public:
+  static constexpr std::size_t kChunkCapacity = 64;
+
+  CowChunks() : dir_(std::make_shared<Dir>()) {}
+
+  CowChunks(const CowChunks&) = default;
+  CowChunks& operator=(const CowChunks&) = default;
+  CowChunks(CowChunks&&) noexcept = default;
+  CowChunks& operator=(CowChunks&&) noexcept = default;
+
+  [[nodiscard]] CowChunks fork() const { return *this; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Bounds-checked, like std::vector::at (the callers' safety nets —
+  /// BoostedArray's revert-on-out-of-range contract — lean on it).
+  [[nodiscard]] const T& at(std::size_t index) const {
+    if (index >= size_) throw std::out_of_range("CowChunks::at");
+    return (*(*dir_)[index / kChunkCapacity])[index % kChunkCapacity];
+  }
+
+  [[nodiscard]] const T& back() const { return at(size_ - 1); }
+
+  void set(std::size_t index, T value) {
+    if (index >= size_) throw std::out_of_range("CowChunks::set");
+    mutable_chunk(index / kChunkCapacity)[index % kChunkCapacity] = std::move(value);
+  }
+
+  /// In-place read-modify-write of one element (commutative adds).
+  template <typename Fn>
+  void mutate(std::size_t index, Fn&& fn) {
+    if (index >= size_) throw std::out_of_range("CowChunks::mutate");
+    fn(mutable_chunk(index / kChunkCapacity)[index % kChunkCapacity]);
+  }
+
+  void push_back(T value) {
+    ensure_unique_dir();
+    if (size_ % kChunkCapacity == 0) {
+      auto chunk = std::make_shared<Chunk>();
+      chunk->reserve(kChunkCapacity);
+      dir_->push_back(std::move(chunk));
+    }
+    mutable_chunk(size_ / kChunkCapacity).push_back(std::move(value));
+    ++size_;
+  }
+
+  /// Precondition: !empty().
+  void pop_back() {
+    ensure_unique_dir();
+    const std::size_t last = size_ - 1;
+    mutable_chunk(last / kChunkCapacity).pop_back();
+    if (last % kChunkCapacity == 0) dir_->pop_back();  // Chunk emptied out.
+    --size_;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& chunk : *dir_) {
+      for (const T& value : *chunk) fn(value);
+    }
+  }
+
+ private:
+  using Chunk = std::vector<T>;
+  using Dir = std::vector<std::shared_ptr<Chunk>>;
+
+  void ensure_unique_dir() {
+    if (!cow_detail::sole_owner(dir_)) dir_ = std::make_shared<Dir>(*dir_);
+  }
+
+  Chunk& mutable_chunk(std::size_t chunk_index) {
+    ensure_unique_dir();
+    auto& slot = (*dir_)[chunk_index];
+    if (!cow_detail::sole_owner(slot)) {
+      auto copy = std::make_shared<Chunk>();
+      copy->reserve(kChunkCapacity);
+      *copy = *slot;
+      slot = std::move(copy);
+    }
+    return *slot;
+  }
+
+  std::shared_ptr<Dir> dir_;
+  std::size_t size_ = 0;
+};
+
+/// A single COW value: BoostedScalar's backing store. One level — the
+/// value itself is the page.
+template <typename T>
+class CowBox {
+ public:
+  explicit CowBox(T initial) : value_(std::make_shared<T>(std::move(initial))) {}
+
+  CowBox(const CowBox&) = default;
+  CowBox& operator=(const CowBox&) = default;
+  CowBox(CowBox&&) noexcept = default;
+  CowBox& operator=(CowBox&&) noexcept = default;
+
+  [[nodiscard]] CowBox fork() const { return *this; }
+
+  [[nodiscard]] const T& get() const noexcept { return *value_; }
+
+  /// Ensure-unique, then expose the private value. Valid until the next
+  /// fork of this instance.
+  [[nodiscard]] T& mutable_ref() {
+    if (!cow_detail::sole_owner(value_)) value_ = std::make_shared<T>(*value_);
+    return *value_;
+  }
+
+  void set(T value) { mutable_ref() = std::move(value); }
+
+ private:
+  std::shared_ptr<T> value_;
+};
+
+}  // namespace concord::vm

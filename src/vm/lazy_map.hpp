@@ -14,6 +14,7 @@
 #include "stm/speculative_action.hpp"
 #include "vm/boosted_map.hpp"
 #include "vm/codec.hpp"
+#include "vm/cow.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/gas.hpp"
 #include "vm/state_hasher.hpp"
@@ -57,8 +58,8 @@ class LazyMap {
     std::scoped_lock lk(mu_);
     // Own writes win — including buffered erases, which read as absent.
     if (const auto* buffered = find_buffered_entry(ctx, key)) return *buffered;
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   [[nodiscard]] V get_or(ExecContext& ctx, const K& key, V fallback) const {
@@ -71,8 +72,8 @@ class LazyMap {
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
     std::scoped_lock lk(mu_);
     if (const auto* buffered = find_buffered_entry(ctx, key)) return *buffered;
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   [[nodiscard]] bool contains(ExecContext& ctx, const K& key) const {
@@ -99,19 +100,23 @@ class LazyMap {
 
   // --- Non-transactional access ----------------------------------------
 
-  /// Deep-copies `other`'s committed state into this map (World::clone).
-  /// Snapshots are taken at block boundaries, when no speculative action
-  /// is live — a lineage with a buffered overlay would make "the state"
-  /// ambiguous, so cloning a non-quiescent map throws.
-  void clone_state_from(const LazyMap& other) {
+  /// Copy-on-write fork (World::fork): adopts `other`'s *committed* state
+  /// as a shared-page replica in O(1). Forks are taken at block
+  /// boundaries, when no speculative action is live — a lineage with a
+  /// buffered overlay would make "the state" ambiguous, so forking a
+  /// non-quiescent map throws. Overlays created in `other` *after* the
+  /// fork never reach this replica: buffered writes live outside the
+  /// shared pages, and applying them at commit detaches `other`'s touched
+  /// pages first (see the fork-precondition tests in lazy_test).
+  void fork_state_from(const LazyMap& other) {
     if (space_ != other.space_) {
-      throw std::logic_error("LazyMap::clone_state_from: lock-space mismatch");
+      throw std::logic_error("LazyMap::fork_state_from: lock-space mismatch");
     }
     std::scoped_lock lk(mu_, other.mu_);
     if (!other.overlays_.empty()) {
-      throw std::logic_error("LazyMap::clone_state_from: live overlays (clone between blocks)");
+      throw std::logic_error("LazyMap::fork_state_from: live overlays (fork between blocks)");
     }
-    data_ = other.data_;
+    data_ = other.data_.fork();
     overlays_.clear();
   }
 
@@ -122,8 +127,8 @@ class LazyMap {
 
   [[nodiscard]] std::optional<V> raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
-    const auto it = data_.find(key);
-    return it != data_.end() ? std::optional<V>(it->second) : std::nullopt;
+    const V* value = data_.find(key);
+    return value != nullptr ? std::optional<V>(*value) : std::nullopt;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -142,7 +147,9 @@ class LazyMap {
     std::scoped_lock lk(mu_);
     std::vector<std::pair<std::vector<std::uint8_t>, const V*>> items;
     items.reserve(data_.size());
-    for (const auto& [key, value] : data_) items.emplace_back(encoded_bytes(key), &value);
+    data_.for_each([&items](const K& key, const V& value) {
+      items.emplace_back(encoded_bytes(key), &value);
+    });
     std::sort(items.begin(), items.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     hasher.put_u64(items.size());
@@ -185,8 +192,8 @@ class LazyMap {
     if (action == nullptr) {
       // Serial/replay: eager with local undo, exactly like BoostedMap.
       std::optional<V> old;
-      const auto it = data_.find(key);
-      if (it != data_.end()) old = it->second;
+      const V* existing = data_.find(key);
+      if (existing != nullptr) old = *existing;
       apply(key, std::move(value));
       ctx.log_inverse([this, key, old = std::move(old)]() {
         std::scoped_lock relock(mu_);
@@ -253,7 +260,9 @@ class LazyMap {
 
   std::uint64_t space_;
   mutable std::mutex mu_;
-  std::unordered_map<K, V, StableKeyHash> data_;
+  /// Committed state: COW pages, shared across forked lineages.
+  CowPages<K, V, StableKeyHash> data_;
+  /// Buffered speculative writes: strictly per-instance, never forked.
   mutable std::unordered_map<std::uint64_t, Overlay> overlays_;
 };
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "util/sha256.hpp"
 #include "vm/boosted_counter_map.hpp"
@@ -48,18 +49,21 @@ class World {
     return hasher.finish();
   }
 
-  /// Deep-copies the whole world — every contract and the native
-  /// balances — into an independent replica with an identical
-  /// state_root() by construction. Call between blocks only (no
+  /// Copy-on-write fork of the whole world: an independent replica with
+  /// an identical state_root() by construction, built in O(contracts) —
+  /// every boosted collection shares its committed pages with the
+  /// original, and the first write to a page on either side detaches a
+  /// private copy of just that page. Call between blocks only (no
   /// speculative action may be live). This is how one genesis state
-  /// serves both pipeline stages: the miner mutates the original while
-  /// the validator replays against a clone, with no dual-construction
-  /// footgun to keep in sync.
-  [[nodiscard]] std::unique_ptr<World> clone() const {
-    auto copy = std::make_unique<World>();
-    copy->contracts_ = contracts_.clone();
-    copy->balances_.clone_state_from(balances_);
-    return copy;
+  /// serves both pipeline stages and how the depth-k ring affords a
+  /// frozen boundary snapshot per in-flight block: the miner keeps
+  /// mutating its world (peeling off the dirty pages) while validators,
+  /// re-org recovery and read serving share the frozen rest.
+  [[nodiscard]] std::unique_ptr<World> fork() const {
+    auto replica = std::make_unique<World>();
+    replica->contracts_ = contracts_.fork();
+    replica->balances_.fork_state_from(balances_);
+    return replica;
   }
 
  private:
@@ -67,11 +71,15 @@ class World {
   BoostedCounterMap<Address> balances_;
 };
 
-/// An immutable world state frozen at a block boundary: a clone taken at
-/// construction plus its state root. Copying the handle shares the frozen
-/// clone (cheap); materialize() mints a fresh mutable replica of it.
+/// An immutable world state frozen at a block boundary: a COW fork taken
+/// at construction plus its (lazily computed) state root. Copying the
+/// handle shares the frozen fork; materialize() mints fresh mutable
+/// replicas — another fork, so both freezing and materializing cost
+/// O(contracts), not O(state). The only O(state) work left on this path
+/// is hashing, and state_root() does it at most once per snapshot, on
+/// first demand (or never, when the caller seeds a known root).
 ///
-/// This is the seam deeper pipelining builds on: a depth-k validation
+/// This is the seam deeper pipelining builds on: the depth-k validation
 /// ring keeps one snapshot per in-flight block to re-derive a validator
 /// world after a re-org, and mid-block read serving answers queries from
 /// the last snapshot while the miner's world is in flux.
@@ -82,10 +90,19 @@ class WorldSnapshot {
   /// handle — exist without a frozen world behind them.
   WorldSnapshot() = default;
 
-  /// Freezes `world`'s current state. The original is untouched and may
-  /// keep advancing; the snapshot's root never changes.
-  explicit WorldSnapshot(const World& world)
-      : frozen_(world.clone()), root_(frozen_->state_root()) {}
+  /// Freezes `world`'s current state as a shared-page fork. The original
+  /// is untouched and may keep advancing (detaching the pages it dirties);
+  /// the snapshot's state never changes.
+  explicit WorldSnapshot(const World& world) : frozen_(std::make_shared<Frozen>(world.fork())) {}
+
+  /// Freezes `world` and seeds the root cache with `known_root` — for
+  /// callers that froze at a boundary whose root is already computed and
+  /// verified (the node snapshots right after a block carrying that very
+  /// root). Skips the O(state) hash entirely.
+  WorldSnapshot(const World& world, const util::Hash256& known_root)
+      : frozen_(std::make_shared<Frozen>(world.fork())) {
+    std::call_once(frozen_->once, [&] { frozen_->root = known_root; });
+  }
 
   /// False for a default-constructed (or moved-from) handle. world() and
   /// materialize() require valid().
@@ -97,21 +114,34 @@ class WorldSnapshot {
   [[nodiscard]] long use_count() const noexcept { return frozen_.use_count(); }
 
   /// The frozen state, for read-only serving.
-  [[nodiscard]] const World& world() const noexcept { return *frozen_; }
+  [[nodiscard]] const World& world() const noexcept { return *frozen_->world; }
 
   /// The state root at the moment the snapshot was taken (zero hash for
-  /// an empty handle).
-  [[nodiscard]] const util::Hash256& state_root() const noexcept { return root_; }
+  /// an empty handle). Computed on first call and cached in the shared
+  /// frozen state; safe to race from handles sharing one snapshot.
+  [[nodiscard]] const util::Hash256& state_root() const {
+    static const util::Hash256 kZeroRoot{};
+    if (!valid()) return kZeroRoot;
+    std::call_once(frozen_->once, [this] { frozen_->root = frozen_->world->state_root(); });
+    return frozen_->root;
+  }
 
   /// A fresh mutable world replica of the frozen state — how a validator
   /// (or a re-org recovery path) gets a private copy to execute against.
   /// Concurrent materialize() calls on handles sharing one frozen world
-  /// are safe: cloning only reads the immutable state.
-  [[nodiscard]] std::unique_ptr<World> materialize() const { return frozen_->clone(); }
+  /// are safe: forking only reads the immutable shared pages (and bumps
+  /// their refcounts), it never mutates them.
+  [[nodiscard]] std::unique_ptr<World> materialize() const { return frozen_->world->fork(); }
 
  private:
-  std::shared_ptr<const World> frozen_;
-  util::Hash256 root_;
+  struct Frozen {
+    explicit Frozen(std::unique_ptr<World> w) : world(std::move(w)) {}
+    std::unique_ptr<const World> world;
+    mutable std::once_flag once;   ///< Guards the lazy root computation.
+    mutable util::Hash256 root{};  ///< Valid once `once` has run.
+  };
+
+  std::shared_ptr<const Frozen> frozen_;
 };
 
 }  // namespace concord::vm

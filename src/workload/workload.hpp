@@ -81,7 +81,7 @@ struct StreamSpec {
 /// blocks×txs_per_block transactions in deterministic stream order. A
 /// mempool batching at txs_per_block recreates the per-block workloads.
 /// One build is enough for a whole node: anything that needs a second
-/// view of the same genesis clones it (`fixture.world->clone()` or a
+/// view of the same genesis forks it (`fixture.world->fork()` or a
 /// vm::WorldSnapshot) instead of rebuilding and hoping the two runs
 /// agree.
 [[nodiscard]] Fixture make_stream_fixture(const StreamSpec& spec);

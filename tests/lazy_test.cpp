@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "contracts/kv_store.hpp"
 #include "core/execution.hpp"
@@ -293,6 +294,71 @@ TEST(KvStore, EagerAndLazyConvergeToSameState) {
   for (std::uint64_t key : {std::uint64_t{1}, std::uint64_t{0}}) {
     EXPECT_EQ(es.raw_get(key), ls.raw_get(key)) << "key " << key;
   }
+}
+
+// --------------------------------------------------- LazyMap::fork -------
+
+/// The COW fork's explicit precondition: forks happen at block
+/// boundaries, when no lineage has a live overlay — a buffered write
+/// would make "the committed state" ambiguous, so forking a
+/// non-quiescent map throws, and becomes legal again the moment the
+/// overlay resolves (here: by abort).
+TEST(LazyMapFork, RefusesLiveOverlaysUntilTheyResolve) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 10);
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+  map.put(ctx, 2, 20);
+
+  LazyMap<std::uint64_t, std::int64_t> replica(1);
+  EXPECT_THROW(replica.fork_state_from(map), std::logic_error);
+
+  action.abort();
+  EXPECT_EQ(map.pending_lineages(), 0u);
+  EXPECT_NO_THROW(replica.fork_state_from(map));
+  EXPECT_EQ(replica.raw_get(1), 10);
+  EXPECT_EQ(replica.raw_get(2), std::nullopt);  // The abort discarded it.
+}
+
+TEST(LazyMapFork, LockSpaceMismatchThrows) {
+  LazyMap<std::uint64_t, std::int64_t> a(1);
+  LazyMap<std::uint64_t, std::int64_t> b(2);
+  EXPECT_THROW(b.fork_state_from(a), std::logic_error);
+}
+
+/// Regression for the COW redesign: a fork taken at a quiescent block
+/// boundary shares pages with the source, so overlays created in the
+/// source *afterwards* — and even their commit, which applies buffered
+/// writes into the source's pages — must never reach the fork.
+TEST(LazyMapFork, BoundaryForkIsUnaffectedByOverlaysCreatedAfterwards) {
+  World world;
+  LazyMap<std::uint64_t, std::int64_t> map(1);
+  map.raw_put(1, 10);
+  map.raw_put(2, 20);
+
+  LazyMap<std::uint64_t, std::int64_t> boundary(1);
+  boundary.fork_state_from(map);  // Quiescent: legal, shares pages.
+
+  stm::BoostingRuntime rt;
+  stm::SpeculativeAction action(rt, 0, rt.next_birth());
+  ExecContext ctx = ExecContext::speculative(world, rt, action, test_meter());
+  map.put(ctx, 1, 999);
+  EXPECT_TRUE(map.erase(ctx, 2));
+
+  // Buffered only: invisible everywhere, including the fork.
+  EXPECT_EQ(boundary.raw_get(1), 10);
+  EXPECT_EQ(boundary.raw_get(2), 20);
+  EXPECT_EQ(boundary.pending_lineages(), 0u);
+
+  // Commit applies the overlay into the source's pages — which must
+  // detach from the shared ones, leaving the boundary fork frozen.
+  (void)action.commit();
+  EXPECT_EQ(map.raw_get(1), 999);
+  EXPECT_EQ(map.raw_get(2), std::nullopt);
+  EXPECT_EQ(boundary.raw_get(1), 10);
+  EXPECT_EQ(boundary.raw_get(2), 20);
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ NodeConfig fast_node(const StreamSpec& spec) {
 }
 
 /// A node plus the transaction stream born from the SAME fixture build:
-/// one genesis world (the node clones the validator replica itself), one
+/// one genesis world (the node forks the validator replica itself), one
 /// stream — nothing is rebuilt and re-matched by hand.
 struct NodeUnderTest {
   std::unique_ptr<Node> node;
@@ -79,7 +79,7 @@ void drive(Node& node, std::vector<chain::Transaction> stream) {
 /// one block fully finished before the next begins.
 chain::Blockchain sequential_reference(const StreamSpec& spec) {
   auto mine_side = make_stream_fixture(spec);
-  auto validate_world = mine_side.world->clone();  // One genesis, two views.
+  auto validate_world = mine_side.world->fork();  // One genesis, two views (COW).
   core::MinerConfig miner_config;
   miner_config.nanos_per_gas = 0.0;
   core::ValidatorConfig validator_config;

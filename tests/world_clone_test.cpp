@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "contracts/ballot.hpp"
@@ -11,6 +16,9 @@
 #include "contracts/simple_auction.hpp"
 #include "contracts/token.hpp"
 #include "core/miner.hpp"
+#include "vm/boosted_array.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/gas.hpp"
 #include "vm/world.hpp"
 #include "workload/workload.hpp"
 
@@ -68,49 +76,58 @@ std::unique_ptr<World> make_six_contract_world() {
   return world;
 }
 
-// -------------------------------------------------------- World::clone ---
+// --------------------------------------------------------- World::fork ---
 
-TEST(WorldClone, RoundTripsStateRootForAllSixContracts) {
+TEST(WorldFork, RoundTripsStateRootForAllSixContracts) {
   const auto world = make_six_contract_world();
-  const auto copy = world->clone();
-  EXPECT_EQ(copy->state_root(), world->state_root());
-  EXPECT_EQ(copy->contracts().size(), world->contracts().size());
-  // The clone resolves the same typed contracts at the same addresses.
-  EXPECT_EQ(copy->contracts().as<contracts::Token>(kTokenAddr).raw_balance(addr(11, 0x05)),
+  const auto replica = world->fork();
+  EXPECT_EQ(replica->state_root(), world->state_root());
+  EXPECT_EQ(replica->contracts().size(), world->contracts().size());
+  // The fork resolves the same typed contracts at the same addresses.
+  EXPECT_EQ(replica->contracts().as<contracts::Token>(kTokenAddr).raw_balance(addr(11, 0x05)),
             1'000);
-  EXPECT_EQ(copy->contracts().as<contracts::KvStore>(kLazyKvAddr).raw_get(2), 22);
+  EXPECT_EQ(replica->contracts().as<contracts::KvStore>(kLazyKvAddr).raw_get(2), 22);
 }
 
-TEST(WorldClone, CloneIsIndependentInBothDirections) {
+TEST(WorldFork, ForkIsIndependentInBothDirections) {
   const auto world = make_six_contract_world();
   const auto original_root = world->state_root();
-  const auto copy = world->clone();
+  const auto replica = world->fork();
 
-  // Mutating the clone leaves the original frozen…
-  copy->contracts().as<contracts::Token>(kTokenAddr).raw_mint(addr(13, 0x05), 5);
-  EXPECT_NE(copy->state_root(), original_root);
+  // Mutating the fork leaves the original frozen (detach-on-write)…
+  replica->contracts().as<contracts::Token>(kTokenAddr).raw_mint(addr(13, 0x05), 5);
+  EXPECT_NE(replica->state_root(), original_root);
   EXPECT_EQ(world->state_root(), original_root);
 
-  // …and mutating the original leaves the clone untouched.
-  const auto copy_root = copy->state_root();
+  // …and mutating the original leaves the fork untouched.
+  const auto replica_root = replica->state_root();
   world->balances().raw_set(addr(21, 0x06), 1);
-  EXPECT_EQ(copy->state_root(), copy_root);
+  EXPECT_EQ(replica->state_root(), replica_root);
 }
 
-class WorldCloneWorkloads : public ::testing::TestWithParam<workload::BenchmarkKind> {};
+TEST(WorldFork, SurvivesItsParentWorld) {
+  auto world = make_six_contract_world();
+  const auto original_root = world->state_root();
+  auto replica = world->fork();
+  world.reset();  // Shared pages must outlive the lineage that made them.
+  EXPECT_EQ(replica->state_root(), original_root);
+  EXPECT_EQ(replica->contracts().as<contracts::KvStore>(kEagerKvAddr).raw_get(1), 11);
+}
 
-TEST_P(WorldCloneWorkloads, RoundTripsGenesisStateRoot) {
+class WorldForkWorkloads : public ::testing::TestWithParam<workload::BenchmarkKind> {};
+
+TEST_P(WorldForkWorkloads, RoundTripsGenesisStateRoot) {
   workload::WorkloadSpec spec;
   spec.kind = GetParam();
   spec.transactions = 60;
   spec.conflict_percent = 20;
   const auto fixture = workload::make_fixture(spec);
-  EXPECT_EQ(fixture.world->clone()->state_root(), fixture.world->state_root());
+  EXPECT_EQ(fixture.world->fork()->state_root(), fixture.world->state_root());
 }
 
-/// Clones are taken at block boundaries in the node, so the root must
+/// Forks are taken at block boundaries in the node, so the root must
 /// round-trip from post-block state too — not just pristine genesis.
-TEST_P(WorldCloneWorkloads, RoundTripsPostBlockStateRoot) {
+TEST_P(WorldForkWorkloads, RoundTripsPostBlockStateRoot) {
   workload::WorkloadSpec spec;
   spec.kind = GetParam();
   spec.transactions = 40;
@@ -121,16 +138,161 @@ TEST_P(WorldCloneWorkloads, RoundTripsPostBlockStateRoot) {
   core::Miner miner(*fixture.world, config);
   const chain::Block block = miner.mine_serial(fixture.transactions, fixture.genesis());
 
-  const auto copy = fixture.world->clone();
-  EXPECT_EQ(copy->state_root(), fixture.world->state_root());
-  EXPECT_EQ(copy->state_root(), block.header.state_root);
+  const auto replica = fixture.world->fork();
+  EXPECT_EQ(replica->state_root(), fixture.world->state_root());
+  EXPECT_EQ(replica->state_root(), block.header.state_root);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorldCloneWorkloads,
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorldForkWorkloads,
                          ::testing::ValuesIn(workload::kAllBenchmarks),
                          [](const auto& info) {
                            return std::string(workload::to_string(info.param));
                          });
+
+// ----------------------------------------------- COW aliasing fuzz -------
+
+/// One raw mutation against the six-contract world, replayable: the fuzz
+/// compares every forked lineage against a reference world rebuilt from
+/// genesis + its mutation log, so any page aliasing between lineages (a
+/// write leaking through a shared page, a detach losing entries) shows
+/// up as a root mismatch.
+struct Mutation {
+  std::uint64_t op = 0;
+  std::uint64_t a = 0;
+  std::int64_t b = 0;
+};
+
+void apply_mutation(World& world, const Mutation& m) {
+  switch (m.op % 8) {
+    case 0:
+      world.contracts().as<contracts::Token>(kTokenAddr).raw_mint(addr(m.a % 37, 0x05),
+                                                                  1 + (m.b % 999));
+      break;
+    case 1:
+      world.balances().raw_set(addr(m.a % 37, 0x06), m.b % 100'000);
+      break;
+    case 2:
+      world.contracts().as<contracts::KvStore>(kEagerKvAddr).raw_put(m.a % 53, m.b);
+      break;
+    case 3:
+      world.contracts().as<contracts::KvStore>(kLazyKvAddr).raw_put(m.a % 53, m.b);
+      break;
+    case 4:
+      world.contracts().as<contracts::SimpleAuction>(kAuctionAddr)
+          .raw_add_pending(addr(m.a % 37, 0x02), 1 + (m.b % 500));
+      break;
+    case 5:
+      world.contracts().as<contracts::SimpleAuction>(kAuctionAddr)
+          .raw_set_highest(addr(m.a % 37, 0x02), m.b % 10'000);
+      break;
+    case 6:
+      world.contracts().as<contracts::EtherDoc>(kEtherDocAddr)
+          .raw_add_document(m.a % 29, addr(static_cast<std::uint64_t>(m.b) % 37, 0x03));
+      break;
+    default:
+      world.contracts().as<contracts::Ballot>(kBallotAddr)
+          .raw_register_voter(addr(m.a % 37, 0x01), 1 + (m.b % 5));
+      break;
+  }
+}
+
+/// A forked lineage plus the full mutation history that produced it.
+struct Lineage {
+  std::unique_ptr<World> world;
+  std::vector<Mutation> log;
+};
+
+util::Hash256 replay_reference_root(const std::vector<Mutation>& log) {
+  const auto reference = make_six_contract_world();
+  for (const Mutation& m : log) apply_mutation(*reference, m);
+  return reference->state_root();
+}
+
+TEST(WorldForkFuzz, InterleavedForkMutateMatchesEagerReplayReference) {
+  constexpr int kSteps = 48;
+  constexpr std::size_t kMaxLineages = 5;
+
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng;
+  };
+
+  std::vector<Lineage> pool;
+  pool.push_back(Lineage{make_six_contract_world(), {}});
+
+  for (int step = 0; step < kSteps; ++step) {
+    const std::uint64_t r = next();
+    if ((r >> 40) % 3 == 0) {
+      // Fork a lineage. When the pool is full, retire the oldest lineage
+      // first — forks must survive the worlds they came from.
+      if (pool.size() == kMaxLineages) pool.erase(pool.begin());
+      const std::size_t parent = (r >> 4) % pool.size();
+      pool.push_back(Lineage{pool[parent].world->fork(), pool[parent].log});
+    } else {
+      const std::size_t pick = (r >> 4) % pool.size();
+      Mutation m{next(), next(), static_cast<std::int64_t>(next() % 1'000'000)};
+      apply_mutation(*pool[pick].world, m);
+      pool[pick].log.push_back(m);
+    }
+
+    // Every lineage must equal an eagerly-rebuilt reference at every
+    // step: no write may leak into (or be lost from) a sibling.
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      ASSERT_EQ(pool[i].world->state_root(), replay_reference_root(pool[i].log))
+          << "lineage " << i << " diverged from its replay reference after step " << step;
+    }
+  }
+}
+
+// ----------------------------------------------- BoostedArray fork -------
+
+util::Hash256 array_hash(const BoostedArray<std::int64_t>& array) {
+  StateHasher hasher;
+  array.hash_state(hasher, "array");
+  return hasher.finish();
+}
+
+/// No shipped contract holds a BoostedArray, so the chunk-level COW gets
+/// its aliasing coverage here: fork across chunk boundaries, then write,
+/// push and pop on both sides.
+TEST(BoostedArrayFork, DetachesOnlyTheTouchedChunkInEitherDirection) {
+  World world;
+  BoostedArray<std::int64_t> original(7);
+  // Two full chunks plus a partial one.
+  for (std::int64_t i = 0; i < 150; ++i) original.raw_push_back(i);
+
+  BoostedArray<std::int64_t> replica(7);
+  replica.fork_state_from(original);
+  EXPECT_EQ(array_hash(replica), array_hash(original));
+
+  GasMeter meter(gas::kDefaultTxGasLimit, 0.0);
+  ExecContext ctx = ExecContext::serial(world, meter);
+
+  replica.set(ctx, 3, -1);    // Chunk 0 of the replica detaches…
+  replica.set(ctx, 140, -2);  // …and chunk 2.
+  EXPECT_EQ(original.raw_get(3), 3);  // The original still reads the frozen chunks.
+  EXPECT_EQ(original.raw_get(140), 140);
+  EXPECT_EQ(replica.raw_get(3), -1);
+  EXPECT_EQ(replica.raw_get(70), 70);  // Untouched chunk 1 is still shared.
+
+  original.set(ctx, 70, -3);  // Writes on the original don't reach the fork.
+  EXPECT_EQ(replica.raw_get(70), 70);
+  EXPECT_EQ(original.raw_get(70), -3);
+
+  (void)replica.push_back(ctx, 999);
+  original.pop_back(ctx);
+  EXPECT_EQ(replica.size(), 151u);
+  EXPECT_EQ(original.size(), 149u);
+  EXPECT_EQ(replica.raw_get(150), 999);
+  EXPECT_EQ(replica.raw_get(149), 149);  // The popped element survives in the fork.
+}
+
+TEST(BoostedArrayFork, LockSpaceMismatchThrows) {
+  BoostedArray<std::int64_t> a(7);
+  BoostedArray<std::int64_t> b(8);
+  EXPECT_THROW(b.fork_state_from(a), std::logic_error);
+}
 
 // ------------------------------------------------------- WorldSnapshot ---
 
@@ -159,6 +321,18 @@ TEST(WorldSnapshotHandle, MaterializeMintsIndependentReplicas) {
   EXPECT_EQ(snapshot.world().state_root(), handle.state_root());
 }
 
+TEST(WorldSnapshotHandle, SeededRootSkipsTheHashAndMatches) {
+  const auto world = make_six_contract_world();
+  const auto known_root = world->state_root();
+  // The node's fast path: the boundary's root was just computed (and
+  // verified) by the block that ended there, so the snapshot takes it on
+  // trust instead of rehashing O(state).
+  const WorldSnapshot snapshot(*world, known_root);
+  EXPECT_EQ(snapshot.state_root(), known_root);
+  EXPECT_EQ(snapshot.world().state_root(), known_root);
+  EXPECT_EQ(snapshot.materialize()->state_root(), known_root);
+}
+
 TEST(WorldSnapshotHandle, EmptyHandleIsInvalidWithZeroRoot) {
   const WorldSnapshot empty;
   EXPECT_FALSE(empty.valid());
@@ -179,7 +353,7 @@ TEST(WorldSnapshotHandle, UseCountTracksSharedHandles) {
     const WorldSnapshot shared = snapshot;  // The ring-entry case.
     EXPECT_EQ(snapshot.use_count(), 2);
     EXPECT_EQ(shared.use_count(), 2);
-    // Materializing clones the state; it does not pin another handle.
+    // Materializing forks the state; it does not pin another handle.
     const auto replica = shared.materialize();
     EXPECT_EQ(snapshot.use_count(), 2);
   }
@@ -189,6 +363,52 @@ TEST(WorldSnapshotHandle, UseCountTracksSharedHandles) {
   const WorldSnapshot taken = std::move(snapshot);
   EXPECT_EQ(taken.use_count(), 1);
   EXPECT_TRUE(taken.valid());
+}
+
+// --------------------------------------------- concurrent COW sharing ----
+
+/// The TSan target for the COW redesign: materialize() on handles sharing
+/// one frozen world is now pointer-sharing (refcount bumps on shared
+/// pages), not a memcpy of private state — and it runs concurrently with
+/// a writer detaching pages from that same frozen state. Any in-place
+/// mutation of a shared page, or a non-atomic handoff in the ensure-
+/// unique path, is a data race this test exposes under -fsanitize=thread.
+TEST(WorldForkConcurrency, SharedFrozenPagesServeConcurrentMaterializeAndWrites) {
+  auto world = make_six_contract_world();
+  // Enough balance entries for a multi-page directory, so readers and
+  // the writer actually overlap on shared pages.
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    world->balances().raw_set(addr(1'000 + i, 0x06), static_cast<Amount>(i + 1));
+  }
+  const WorldSnapshot boundary(*world);
+  const util::Hash256 frozen_root = boundary.state_root();
+
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::jthread> validators;
+    for (int t = 0; t < 3; ++t) {
+      validators.emplace_back([&boundary, &frozen_root, &mismatches, t] {
+        for (int round = 0; round < 4; ++round) {
+          auto replica = boundary.materialize();
+          if (replica->state_root() != frozen_root) mismatches.fetch_add(1);
+          // Replica writes detach pages shared with the frozen world.
+          for (std::uint64_t i = 0; i < 64; ++i) {
+            replica->balances().raw_set(
+                addr(2'000 + static_cast<std::uint64_t>(t) * 100 + i, 0x06), 7);
+          }
+          if (replica->state_root() == frozen_root) mismatches.fetch_add(1);
+        }
+      });
+    }
+    // Meanwhile the "miner" keeps advancing the original world, peeling
+    // its own pages off the same frozen state.
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      world->balances().raw_set(addr(1'000 + (i % 512), 0x06), static_cast<Amount>(i));
+      world->contracts().as<contracts::KvStore>(kEagerKvAddr).raw_put(i % 64, 1);
+    }
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(boundary.state_root(), frozen_root);
 }
 
 }  // namespace
