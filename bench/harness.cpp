@@ -8,6 +8,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/json.hpp"
+
 namespace concord::bench {
 
 namespace {
@@ -99,30 +101,7 @@ class JsonSink {
 
 void write_json_object(const std::string& object) { JsonSink::instance().write_raw(object); }
 
-std::string json_escape(std::string_view raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view raw) { return util::json_escape(raw); }
 
 RunConfig RunConfig::from_args(int argc, char** argv) {
   RunConfig config;

@@ -11,8 +11,12 @@
 // keeps mining — rejection is a recoverable event, not a crash.
 //
 // Build & run:  ./build/examples/node_demo
+// Pass --detect to run with ConcordSan on: every mined block's access
+// logs go through the lockset checker and the schedule-soundness oracle,
+// and the run fails if any block is non-clean.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -21,7 +25,12 @@
 
 using namespace concord;
 
-int main() {
+int main(int argc, char** argv) {
+  bool detect = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--detect") == 0) detect = true;
+  }
+
   workload::StreamSpec spec;
   spec.kind = workload::BenchmarkKind::kMixed;
   spec.blocks = 12;
@@ -36,6 +45,7 @@ int main() {
   std::vector<chain::Transaction> stream = std::move(fixture.transactions);
 
   node::NodeConfig config;
+  config.miner.detect = detect;
   config.batch.target_txs = spec.txs_per_block;
   config.mempool_capacity = 2 * spec.txs_per_block;  // Producer backpressure.
   config.pipelined = true;
@@ -98,10 +108,23 @@ int main() {
               static_cast<unsigned long long>(stats.conflict_aborts),
               stats.lock_table_high_water);
 
+  bool detect_clean = true;
+  if (detect) {
+    detect_clean = stats.detect_violations == 0;
+    std::printf("concordsan: %llu violations across %llu blocks\n",
+                static_cast<unsigned long long>(stats.detect_violations),
+                static_cast<unsigned long long>(stats.blocks + stats.rejected_blocks));
+    if (const auto& report = node.first_detect_report(); report.has_value()) {
+      for (const auto& v : report->lockset) std::printf("  %s\n", v.describe().c_str());
+      for (const auto& v : report->soundness) std::printf("  %s\n", v.describe().c_str());
+    }
+  }
+
   // The smoke-test contract: exit 0 means the chain is linked AND the
-  // injected rejection was recovered from (not fatal, accounting closed).
+  // injected rejection was recovered from (not fatal, accounting closed)
+  // AND — under --detect — ConcordSan found nothing.
   const bool recovered = stats.rejected_blocks == 1 &&
                          stats.transactions + stats.dropped_transactions ==
                              spec.total_transactions();
-  return (links_ok && recovered) ? 0 : 1;
+  return (links_ok && recovered && detect_clean) ? 0 : 1;
 }

@@ -16,23 +16,30 @@ vm::TxStatus ExecutionEngine::execute_serial(const chain::Transaction& tx) {
 }
 
 vm::TxStatus ExecutionEngine::execute_traced(const chain::Transaction& tx,
-                                             vm::TraceRecorder& trace) {
+                                             vm::TraceRecorder& trace,
+                                             stm::AccessRecorder* access_log) {
   vm::ExecContext ctx = vm::ExecContext::replay(*world_, trace, meter_for(tx));
   ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+  ctx.set_access_recorder(access_log);
   return execute_transaction(*world_, tx, ctx);
 }
 
 SpeculativeOutcome ExecutionEngine::execute_speculative(stm::BoostingRuntime& runtime,
                                                         std::uint32_t tx_index,
                                                         const chain::Transaction& tx,
-                                                        std::size_t max_attempts) {
+                                                        std::size_t max_attempts,
+                                                        stm::AccessRecorder* access_log) {
   SpeculativeOutcome outcome;
   const std::uint64_t birth = runtime.next_birth();
   for (std::size_t attempt = 1;; ++attempt) {
     ++outcome.attempts;
+    // Aborted attempts leave behind events describing executions that
+    // were undone; only the final attempt's stream reaches analysis.
+    if (access_log != nullptr) access_log->clear();
     stm::SpeculativeAction action(runtime, tx_index, birth);
     vm::ExecContext ctx = vm::ExecContext::speculative(*world_, runtime, action, meter_for(tx));
     ctx.set_exclusive_locks_only(config_.exclusive_locks_only);
+    ctx.set_access_recorder(access_log);
     try {
       outcome.status = execute_transaction(*world_, tx, ctx);
       outcome.profile = action.commit(/*reverted=*/outcome.status != vm::TxStatus::kSuccess);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "chain/transaction.hpp"
+#include "stm/access_log.hpp"
 #include "stm/lock_profile.hpp"
 #include "stm/runtime.hpp"
 #include "vm/gas.hpp"
@@ -66,17 +67,22 @@ class ExecutionEngine {
   /// Deterministic replay: no locks, no conflict detection, but `trace`
   /// records the abstract locks the transaction *would* have acquired
   /// (paper §4). Used by the parallel validator and the serial miner.
-  vm::TxStatus execute_traced(const chain::Transaction& tx, vm::TraceRecorder& trace);
+  /// `access_log`, when non-null, receives the transaction's ConcordSan
+  /// declare/access event stream.
+  vm::TxStatus execute_traced(const chain::Transaction& tx, vm::TraceRecorder& trace,
+                              stm::AccessRecorder* access_log = nullptr);
 
   /// Speculative execution with the paper's retry loop (§3): acquire
   /// abstract locks through `runtime`, and on ConflictAbort re-execute
   /// with the same birth stamp so repeated victims age into deadlock
   /// immunity. Throws when `max_attempts` is exhausted (livelock guard).
   /// Safe to call concurrently from pool threads — all mutable state is
-  /// per-call.
+  /// per-call. `access_log`, when non-null, receives the ConcordSan event
+  /// stream; it is cleared at every retry so only the final (committing)
+  /// attempt's events survive into analysis.
   SpeculativeOutcome execute_speculative(stm::BoostingRuntime& runtime, std::uint32_t tx_index,
-                                         const chain::Transaction& tx,
-                                         std::size_t max_attempts);
+                                         const chain::Transaction& tx, std::size_t max_attempts,
+                                         stm::AccessRecorder* access_log = nullptr);
 
  private:
   [[nodiscard]] vm::GasMeter meter_for(const chain::Transaction& tx) const noexcept {

@@ -27,12 +27,17 @@ chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain
   std::atomic<std::uint64_t> attempts{0};
   std::atomic<std::uint64_t> aborts{0};
 
+  // ConcordSan logs, one per transaction. Pool workers write only their
+  // own slot, so the preallocated vector needs no synchronization.
+  std::vector<stm::AccessRecorder> logs(config_.detect ? n : 0);
+
   for (std::uint32_t i = 0; i < n; ++i) {
-    pool_.submit([this, i, &txs, &profiles, &statuses, &attempts, &aborts] {
+    pool_.submit([this, i, &txs, &profiles, &statuses, &attempts, &aborts, &logs] {
       // Pool tasks must not throw: capture harness failures for rethrow.
       try {
         SpeculativeOutcome outcome =
-            engine_.execute_speculative(runtime_, i, txs[i], config_.max_attempts);
+            engine_.execute_speculative(runtime_, i, txs[i], config_.max_attempts,
+                                        logs.empty() ? nullptr : &logs[i]);
         profiles[i] = std::move(outcome.profile);
         statuses[i] = outcome.status;
         attempts.fetch_add(outcome.attempts, std::memory_order_relaxed);
@@ -55,7 +60,9 @@ chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain
   stats_.deadlock_victims = runtime_.deadlocks().victims();
   stats_.lock_table_size = runtime_.locks().size();
   stats_.lock_table_high_water = runtime_.locks().high_water();
-  return assemble(txs, std::move(statuses), std::move(profiles), parent);
+  chain::Block block = assemble(txs, std::move(statuses), std::move(profiles), parent);
+  run_detect(block, logs);
+  return block;
 }
 
 chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
@@ -67,13 +74,14 @@ chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
 
   std::vector<stm::LockProfile> profiles(n);
   std::vector<vm::TxStatus> statuses(n, vm::TxStatus::kSuccess);
+  std::vector<stm::AccessRecorder> logs(config_.detect ? n : 0);
   // Synthetic use counters: serial execution *is* a lock-acquisition
   // order, so number each lock's holders 1, 2, 3… in block order.
   std::unordered_map<stm::LockId, std::uint64_t, stm::LockIdHash> counters;
 
   for (std::uint32_t i = 0; i < n; ++i) {
     vm::TraceRecorder trace;
-    statuses[i] = engine_.execute_traced(txs[i], trace);
+    statuses[i] = engine_.execute_traced(txs[i], trace, logs.empty() ? nullptr : &logs[i]);
 
     stm::LockProfile& profile = profiles[i];
     profile.tx = i;
@@ -82,7 +90,23 @@ chain::Block Miner::mine_serial(const std::vector<chain::Transaction>& txs,
       profile.entries.push_back(stm::LockProfileEntry{lock, mode, ++counters[lock]});
     }
   }
-  return assemble(txs, std::move(statuses), std::move(profiles), parent);
+  chain::Block block = assemble(txs, std::move(statuses), std::move(profiles), parent);
+  run_detect(block, logs);
+  return block;
+}
+
+void Miner::run_detect(const chain::Block& block, std::span<const stm::AccessRecorder> logs) {
+  detect_report_ = detect::DetectReport{};
+  if (!config_.detect) return;
+  detect_report_ = detect::analyze_block(block, logs);
+  stats_.detect_violations = detect_report_.total_violations();
+  if (!detect_report_.clean()) {
+    // CI's detect lane sets CONCORD_DETECT_REPORT_DIR and uploads
+    // whatever lands there as the failure artifact; a no-op otherwise.
+    (void)detect::write_report_artifact(
+        detect_report_,
+        "detect_block" + std::to_string(block.header.number));
+  }
 }
 
 void Miner::resume_from(vm::World& world) {

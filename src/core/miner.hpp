@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "chain/block.hpp"
 #include "chain/transaction.hpp"
 #include "core/execution_engine.hpp"
+#include "detect/detect.hpp"
 #include "sched/thread_pool.hpp"
 #include "stm/runtime.hpp"
 #include "vm/gas.hpp"
@@ -30,6 +32,17 @@ struct MinerConfig {
   /// sharing). Blocks mined this way must be validated with the same
   /// setting. See bench_ablation_modes.
   bool exclusive_locks_only = false;
+  /// ConcordSan: record per-transaction access logs during mining and run
+  /// the lockset checker plus the schedule-soundness oracle on every
+  /// mined block (see detect/detect.hpp). Off by default — the release
+  /// hot path then pays one untaken null test per storage op. Building
+  /// with -DCONCORD_DETECT=ON flips the default, giving a tree whose
+  /// every test and bench runs instrumented.
+#ifdef CONCORD_DETECT
+  bool detect = true;
+#else
+  bool detect = false;
+#endif
 
   /// The execution-side subset, shared verbatim with the Validator so
   /// both stages run on the same ExecutionEngine semantics.
@@ -50,6 +63,10 @@ struct MinerStats {
   /// cumulative retained set, not just the locks this block touched.
   std::size_t lock_table_size = 0;
   std::size_t lock_table_high_water = 0;  ///< Max table size over the miner's lifetime.
+  /// ConcordSan violations found in this block (lockset + soundness);
+  /// always 0 when MinerConfig::detect is off. Details live in
+  /// Miner::last_detect_report().
+  std::uint64_t detect_violations = 0;
 };
 
 /// The paper's miner. mine() implements Algorithm 1: execute the block's
@@ -94,6 +111,12 @@ class Miner {
   [[nodiscard]] const MinerStats& last_stats() const noexcept { return stats_; }
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
 
+  /// ConcordSan findings for the last mined block. Empty (clean) when
+  /// MinerConfig::detect is off or no block has been mined yet.
+  [[nodiscard]] const detect::DetectReport& last_detect_report() const noexcept {
+    return detect_report_;
+  }
+
  private:
   /// Builds the block: derives the happens-before graph from `profiles`,
   /// topologically sorts it, snapshots the state root.
@@ -102,11 +125,16 @@ class Miner {
                                       std::vector<stm::LockProfile> profiles,
                                       const chain::Block& parent);
 
+  /// Runs ConcordSan over a just-assembled block when detect is on:
+  /// populates detect_report_ and stats_.detect_violations.
+  void run_detect(const chain::Block& block, std::span<const stm::AccessRecorder> logs);
+
   MinerConfig config_;
   ExecutionEngine engine_;
   stm::BoostingRuntime runtime_;
   sched::ThreadPool pool_;
   MinerStats stats_;
+  detect::DetectReport detect_report_;
 
   // Worker-error capture (pool tasks must not throw).
   std::mutex error_mu_;

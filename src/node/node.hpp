@@ -8,6 +8,7 @@
 #include "chain/blockchain.hpp"
 #include "core/miner.hpp"
 #include "core/validator.hpp"
+#include "detect/detect.hpp"
 #include "node/handoff_ring.hpp"
 #include "node/mempool.hpp"
 #include "vm/world.hpp"
@@ -111,6 +112,10 @@ struct NodeStats {
   std::uint64_t deadlock_victims = 0;
   std::size_t schedule_bytes = 0;
   std::size_t lock_table_high_water = 0;
+  /// ConcordSan violations summed over every mined block (0 unless
+  /// MinerConfig::detect). The first non-clean block's full report is in
+  /// Node::first_detect_report().
+  std::uint64_t detect_violations = 0;
 
   [[nodiscard]] double blocks_per_sec() const noexcept {
     return wall_ms > 0 ? static_cast<double>(blocks) * 1e3 / wall_ms : 0.0;
@@ -189,6 +194,12 @@ class Node {
   /// The FIRST rejection's report (valid when !ok()).
   [[nodiscard]] const core::ValidationReport& failure() const { return failure_.value(); }
 
+  /// The first non-clean ConcordSan report of the run, when
+  /// MinerConfig::detect was on and a block had violations.
+  [[nodiscard]] const std::optional<detect::DetectReport>& first_detect_report() const noexcept {
+    return first_detect_report_;
+  }
+
  private:
   void run_pipelined();
   void run_sequential();
@@ -218,6 +229,7 @@ class Node {
   chain::Blockchain chain_;
   NodeStats stats_;
   std::optional<core::ValidationReport> failure_;
+  std::optional<detect::DetectReport> first_detect_report_;
   bool ran_ = false;
 };
 

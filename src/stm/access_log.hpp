@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stm/lock_id.hpp"
+#include "stm/lock_mode.hpp"
+
+namespace concord::stm {
+
+/// One entry in a transaction's ConcordSan access log.
+///
+/// Two event kinds share the record:
+///  - kDeclare: the transaction declared a storage operation on an
+///    abstract lock (ExecContext::on_storage_op) — in speculative mode
+///    this is the point the lock is acquired, so under strict two-phase
+///    locking "declared earlier in this attempt" ≡ "held now".
+///  - kAccess: a boosted collection actually touched data under
+///    (lock, mode) — the physical truth the lockset checker verifies
+///    against the declared set.
+///
+/// `op` is a static string literal naming the collection operation
+/// ("counter.add", "map.put", …); it is never owned or freed.
+struct AccessEvent {
+  enum class Kind : std::uint8_t { kDeclare = 0, kAccess = 1 };
+
+  Kind kind = Kind::kDeclare;
+  LockId lock;
+  LockMode mode = LockMode::kRead;  ///< Declared mode / physical access class.
+  const char* op = "";              ///< Operation label (kAccess only).
+};
+
+/// Per-transaction-attempt access log for ConcordSan (the abstract-lock
+/// race detector). One recorder covers one speculative attempt (or one
+/// traced serial execution); the engine clears it on retry so only the
+/// final attempt's events survive into analysis.
+///
+/// A lineage (root action plus nested descendants) runs on one thread, so
+/// the recorder needs no synchronization; distinct transactions get
+/// distinct recorders.
+class AccessRecorder {
+ public:
+  void declare(const LockId& id, LockMode mode) {
+    events_.push_back(AccessEvent{AccessEvent::Kind::kDeclare, id, mode, ""});
+  }
+
+  void access(const LockId& id, LockMode mode, const char* op) {
+    events_.push_back(AccessEvent{AccessEvent::Kind::kAccess, id, mode, op});
+  }
+
+  void clear() noexcept { events_.clear(); }
+
+  [[nodiscard]] const std::vector<AccessEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Number of kAccess events (physical data touches).
+  [[nodiscard]] std::size_t access_count() const noexcept {
+    std::size_t n = 0;
+    for (const AccessEvent& ev : events_) {
+      if (ev.kind == AccessEvent::Kind::kAccess) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<AccessEvent> events_;
+};
+
+}  // namespace concord::stm

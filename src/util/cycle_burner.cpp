@@ -29,7 +29,7 @@ std::uint64_t calibrate() noexcept {
   const auto start = Clock::now();
   sink = burn_iterations(kProbe);
   const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start);
-  const double nanos = static_cast<double>(elapsed.count());
+  const auto nanos = static_cast<double>(elapsed.count());
   if (nanos <= 0.0) return 1000;  // Defensive; steady_clock should never do this.
   const double per_us = static_cast<double>(kProbe) * 1000.0 / nanos;
   return per_us < 1.0 ? 1 : static_cast<std::uint64_t>(per_us);

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace concord::util {
+
+/// Escapes `raw` for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters per RFC 8259. Shared by the bench
+/// harness's JSON sink and ConcordSan's DetectReport export, so free-form
+/// text (workload names, violation details) can't corrupt a results file.
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+}  // namespace concord::util

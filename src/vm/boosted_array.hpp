@@ -47,6 +47,7 @@ class BoostedArray {
   [[nodiscard]] std::size_t length(ExecContext& ctx) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(length_lock(), stm::LockMode::kRead);
+    ctx.on_data_access(length_lock(), stm::LockMode::kRead, "array.length");
     std::scoped_lock lk(mu_);
     return data_.size();
   }
@@ -55,6 +56,7 @@ class BoostedArray {
     check_bounds(ctx, index);
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(element_lock(index), stm::LockMode::kRead);
+    ctx.on_data_access(element_lock(index), stm::LockMode::kRead, "array.get");
     std::scoped_lock lk(mu_);
     return data_.at(index);
   }
@@ -63,6 +65,7 @@ class BoostedArray {
     check_bounds(ctx, index);
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(element_lock(index), stm::LockMode::kWrite);
+    ctx.on_data_access(element_lock(index), stm::LockMode::kWrite, "array.set");
     T old;
     {
       std::scoped_lock lk(mu_);
@@ -83,6 +86,7 @@ class BoostedArray {
     check_bounds(ctx, index);
     ctx.gas().charge(gas::kSinc);
     ctx.on_storage_op(element_lock(index), stm::LockMode::kIncrement);
+    ctx.on_data_access(element_lock(index), stm::LockMode::kIncrement, "array.add");
     {
       std::scoped_lock lk(mu_);
       data_.mutate(index, [delta](T& value) { value += delta; });
@@ -97,12 +101,14 @@ class BoostedArray {
   std::uint64_t push_back(ExecContext& ctx, T value) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(length_lock(), stm::LockMode::kWrite);
+    ctx.on_data_access(length_lock(), stm::LockMode::kWrite, "array.push_back");
     std::uint64_t index = 0;
     {
       std::scoped_lock lk(mu_);
       index = data_.size();
     }
     ctx.on_storage_op(element_lock(index), stm::LockMode::kWrite);
+    ctx.on_data_access(element_lock(index), stm::LockMode::kWrite, "array.push_back");
     {
       std::scoped_lock lk(mu_);
       data_.push_back(std::move(value));
@@ -118,6 +124,7 @@ class BoostedArray {
   void pop_back(ExecContext& ctx) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(length_lock(), stm::LockMode::kWrite);
+    ctx.on_data_access(length_lock(), stm::LockMode::kWrite, "array.pop_back");
     std::uint64_t index = 0;
     {
       std::scoped_lock lk(mu_);
@@ -125,6 +132,7 @@ class BoostedArray {
       index = data_.size() - 1;
     }
     ctx.on_storage_op(element_lock(index), stm::LockMode::kWrite);
+    ctx.on_data_access(element_lock(index), stm::LockMode::kWrite, "array.pop_back");
     T old;
     {
       std::scoped_lock lk(mu_);
@@ -188,6 +196,7 @@ class BoostedArray {
   void check_bounds(ExecContext& ctx, std::uint64_t index) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(length_lock(), stm::LockMode::kRead);
+    ctx.on_data_access(length_lock(), stm::LockMode::kRead, "array.bounds");
     std::scoped_lock lk(mu_);
     if (index >= data_.size()) throw RevertError("array index out of range");
   }

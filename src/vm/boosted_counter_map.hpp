@@ -51,6 +51,7 @@ class BoostedCounterMap {
   [[nodiscard]] Value get(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "counter.get");
     std::scoped_lock lk(mu_);
     const Value* value = data_.find(key);
     return value != nullptr ? *value : 0;
@@ -62,6 +63,7 @@ class BoostedCounterMap {
   [[nodiscard]] Value get_for_update(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "counter.get_for_update");
     std::scoped_lock lk(mu_);
     const Value* value = data_.find(key);
     return value != nullptr ? *value : 0;
@@ -73,6 +75,7 @@ class BoostedCounterMap {
   void add(ExecContext& ctx, const K& key, Value delta) {
     ctx.gas().charge(gas::kSinc);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kIncrement);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kIncrement, "counter.add");
     raw_add(key, delta);
     ctx.log_inverse([this, key, delta]() { raw_add(key, -delta); });
   }
@@ -83,6 +86,7 @@ class BoostedCounterMap {
   void set(ExecContext& ctx, const K& key, Value value) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "counter.set");
     Value old = 0;
     {
       std::scoped_lock lk(mu_);

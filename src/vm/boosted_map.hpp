@@ -39,7 +39,11 @@ struct StableKeyHash {
 /// speculatively — then (3) applies to the underlying table under a short
 /// internal mutex (the abstract lock provides *logical* isolation; the
 /// mutex protects the *physical* store, e.g. against a concurrent page
-/// detach), and (4) logs its inverse for rollback.
+/// detach), and (4) logs its inverse for rollback. Between (2) and (3)
+/// the operation also reports its physical access class to ConcordSan
+/// (ctx.on_data_access — a no-op unless detection is on), which is what
+/// lets the lockset checker catch a declaration that went missing or was
+/// too weak for the data touch that followed.
 ///
 /// The physical store is a CowPages: committed state lives in immutable
 /// pages shared with every fork of this map (fork_state_from), and a
@@ -66,6 +70,7 @@ class BoostedMap {
   [[nodiscard]] std::optional<V> get(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "map.get");
     std::scoped_lock lk(mu_);
     const V* value = data_.find(key);
     return value != nullptr ? std::optional<V>(*value) : std::nullopt;
@@ -86,6 +91,7 @@ class BoostedMap {
   [[nodiscard]] std::optional<V> get_for_update(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "map.get_for_update");
     std::scoped_lock lk(mu_);
     const V* value = data_.find(key);
     return value != nullptr ? std::optional<V>(*value) : std::nullopt;
@@ -94,6 +100,7 @@ class BoostedMap {
   [[nodiscard]] bool contains(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "map.contains");
     std::scoped_lock lk(mu_);
     return data_.contains(key);
   }
@@ -103,6 +110,7 @@ class BoostedMap {
   void put(ExecContext& ctx, const K& key, V value) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "map.put");
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);
@@ -126,6 +134,7 @@ class BoostedMap {
   bool erase(ExecContext& ctx, const K& key) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "map.erase");
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);
@@ -150,6 +159,7 @@ class BoostedMap {
   void update(ExecContext& ctx, const K& key, V fallback, Fn&& fn) {
     ctx.gas().charge(gas::kSload + gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "map.update");
     std::optional<V> old;
     {
       std::scoped_lock lk(mu_);

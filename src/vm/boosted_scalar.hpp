@@ -35,6 +35,7 @@ class BoostedScalar {
   [[nodiscard]] T get(ExecContext& ctx) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(), stm::LockMode::kRead);
+    ctx.on_data_access(lock_id(), stm::LockMode::kRead, "scalar.get");
     std::scoped_lock lk(mu_);
     return value_.get();
   }
@@ -49,6 +50,7 @@ class BoostedScalar {
   [[nodiscard]] T get_for_update(ExecContext& ctx) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(), stm::LockMode::kRead, "scalar.get_for_update");
     std::scoped_lock lk(mu_);
     return value_.get();
   }
@@ -57,6 +59,7 @@ class BoostedScalar {
   void set(ExecContext& ctx, T value) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(), stm::LockMode::kWrite, "scalar.set");
     T old;
     {
       std::scoped_lock lk(mu_);
@@ -74,6 +77,7 @@ class BoostedScalar {
   {
     ctx.gas().charge(gas::kSinc);
     ctx.on_storage_op(lock_id(), stm::LockMode::kIncrement);
+    ctx.on_data_access(lock_id(), stm::LockMode::kIncrement, "scalar.add");
     {
       std::scoped_lock lk(mu_);
       value_.mutable_ref() += delta;

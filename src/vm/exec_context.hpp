@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "stm/access_log.hpp"
 #include "stm/lock_id.hpp"
 #include "stm/lock_mode.hpp"
 #include "stm/runtime.hpp"
@@ -21,6 +22,21 @@ class World;
 /// How a transaction is being executed. The same contract code runs under
 /// all three — the mode only changes what a storage operation does before
 /// touching data.
+/// ConcordSan fault-injection seam (tests only — see the mutant contract
+/// fixtures in detect_test): how the NEXT on_storage_op call should be
+/// corrupted to simulate a contract that under-declares its abstract
+/// locks. Production contracts never touch this; the member costs one
+/// byte and its check folds into the detect-off fast path.
+enum class DeclareFault : std::uint8_t {
+  kNone = 0,
+  /// Drop the declaration entirely: no lock acquired, nothing recorded —
+  /// the "writing a balance without its key lock" mutant.
+  kDrop,
+  /// Weaken the declared mode to READ: the lock is acquired, but a
+  /// physical write under it is a coverage violation.
+  kWeakenToRead,
+};
+
 enum class ExecMode : std::uint8_t {
   /// Plain single-threaded execution (the paper's serial miner baseline
   /// and the serial validator). Storage ops go straight to data.
@@ -92,9 +108,18 @@ class ExecContext {
 
   /// Declares a storage operation on abstract lock `id` with `mode`.
   /// Speculative: acquires the lock (may block, may throw ConflictAbort).
-  /// Replay: records the op. Serial: nothing.
+  /// Replay: records the op. Serial: nothing. With an AccessRecorder
+  /// attached (ConcordSan), the declaration is also logged so the lockset
+  /// checker can verify later data accesses against it.
   void on_storage_op(const stm::LockId& id, stm::LockMode mode) {
     if (exclusive_locks_only_) mode = stm::LockMode::kWrite;
+    if (declare_fault_ != DeclareFault::kNone) {
+      const DeclareFault fault = declare_fault_;
+      declare_fault_ = DeclareFault::kNone;
+      if (fault == DeclareFault::kDrop) return;
+      mode = stm::LockMode::kRead;  // kWeakenToRead
+    }
+    if (recorder_ != nullptr) recorder_->declare(id, mode);
     switch (mode_) {
       case ExecMode::kSpeculative:
         action_->acquire(runtime_->locks().get(id), mode);
@@ -106,6 +131,26 @@ class ExecContext {
         break;
     }
   }
+
+  /// Reports a physical data access the calling boosted collection is
+  /// about to perform: lock `id` with operation class `mode`, labelled
+  /// `op` (a static string such as "counter.add"). A no-op unless an
+  /// AccessRecorder is attached — the detect-off hot path pays exactly
+  /// one null-pointer test. The `mode` here is the operation's TRUE
+  /// commutativity class (a get_for_update physically *reads*), which is
+  /// what the lockset checker compares against the declared locks.
+  void on_data_access(const stm::LockId& id, stm::LockMode mode, const char* op) {
+    if (recorder_ != nullptr) recorder_->access(id, mode, op);
+  }
+
+  /// Attaches/detaches the ConcordSan access log for this attempt.
+  /// nullptr (the default) disables recording entirely.
+  void set_access_recorder(stm::AccessRecorder* recorder) noexcept { recorder_ = recorder; }
+  [[nodiscard]] stm::AccessRecorder* access_recorder() const noexcept { return recorder_; }
+
+  /// Arms the declare-fault seam: the next on_storage_op is corrupted per
+  /// `fault`, then the seam disarms itself. Test fixtures only.
+  void inject_declare_fault(DeclareFault fault) noexcept { declare_fault_ = fault; }
 
   /// Records the inverse of a mutation just applied. Routed to the
   /// speculative action's log or, in serial/replay, to the local log that
@@ -160,6 +205,8 @@ class ExecContext {
   stm::BoostingRuntime* runtime_ = nullptr;   ///< Speculative only.
   stm::SpeculativeAction* action_ = nullptr;  ///< Innermost active action.
   TraceRecorder* trace_ = nullptr;            ///< Replay only.
+  stm::AccessRecorder* recorder_ = nullptr;   ///< ConcordSan log (null = off).
+  DeclareFault declare_fault_ = DeclareFault::kNone;  ///< Test seam, self-disarming.
   stm::UndoLog local_undo_;                   ///< Serial/replay revert support.
   GasMeter gas_;
   std::vector<MsgContext> msg_stack_;

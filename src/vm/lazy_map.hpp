@@ -55,6 +55,7 @@ class LazyMap {
   [[nodiscard]] std::optional<V> get(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kRead);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "lazy.get");
     std::scoped_lock lk(mu_);
     // Own writes win — including buffered erases, which read as absent.
     if (const auto* buffered = find_buffered_entry(ctx, key)) return *buffered;
@@ -70,6 +71,7 @@ class LazyMap {
   [[nodiscard]] std::optional<V> get_for_update(ExecContext& ctx, const K& key) const {
     ctx.gas().charge(gas::kSload);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kRead, "lazy.get_for_update");
     std::scoped_lock lk(mu_);
     if (const auto* buffered = find_buffered_entry(ctx, key)) return *buffered;
     const V* value = data_.find(key);
@@ -83,12 +85,14 @@ class LazyMap {
   void put(ExecContext& ctx, const K& key, V value) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "lazy.put");
     write(ctx, key, std::optional<V>(std::move(value)));
   }
 
   bool erase(ExecContext& ctx, const K& key) {
     ctx.gas().charge(gas::kSstore);
     ctx.on_storage_op(lock_id(key), stm::LockMode::kWrite);
+    ctx.on_data_access(lock_id(key), stm::LockMode::kWrite, "lazy.erase");
     std::scoped_lock lk(mu_);
     const bool existed = [&] {
       if (const auto* buffered = find_buffered_entry(ctx, key)) return buffered->has_value();
