@@ -21,6 +21,7 @@
 
 #include "harness.hpp"
 #include "node/node.hpp"
+#include "util/cycle_burner.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -113,7 +114,12 @@ void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pi
          << ", \"ring_high_water\": " << mode.last.ring_high_water
          << ", \"conflict_aborts\": " << mode.last.conflict_aborts
          << ", \"lock_table_high_water\": " << mode.last.lock_table_high_water
-         << ", \"overlap_speedup\": " << overlap_speedup << "}";
+         << ", \"overlap_speedup\": " << overlap_speedup
+         // Machine-speed fingerprint: absolute tx/s is only comparable
+         // across trajectory files when the host ran at the same
+         // effective speed. hardware_threads can't see a same-box
+         // frequency/steal-time shift; the CycleBurner calibration can.
+         << ", \"machine_iters_per_us\": " << util::iterations_per_microsecond() << "}";
   bench::write_json_object(object.str());
 }
 

@@ -14,7 +14,14 @@ retroactively-red gate would block every future PR). A >--threshold drop
 in sustained_tx_per_sec on any shared key fails with exit 1. Files
 measured on different hardware_threads counts are not comparable
 (pipeline overlap needs cores); the gate warns and passes instead of
-guessing. The full history table is always printed.
+guessing. The same applies to the machine-speed fingerprint
+(machine_iters_per_us, the CycleBurner calibration recorded per run):
+on shared infrastructure the same box can run 2x slower between
+recording dates, which hardware_threads cannot see — when the
+fingerprints of the two newest files disagree by more than 10% (or only
+one file carries one), absolute tx/s is not comparable and the gate
+skips instead of red-flagging phantom regressions. The full history
+table is always printed.
 
 usage: check_trajectory.py [--threshold=0.15] [trajectory-dir]
 """
@@ -43,6 +50,21 @@ def load_points(path):
             "snapshot_ms": float(point.get("snapshot_ms", 0.0)),
         }
     return data, points
+
+
+def machine_speed(meta):
+    """CycleBurner burn-iterations/µs the run was recorded at, or None.
+
+    Newer files carry it in the header (record_trajectory.sh lifts it
+    from the points); fall back to scanning the points so a hand-rolled
+    file still fingerprints. Files predating the field return None."""
+    value = meta.get("machine_iters_per_us")
+    if value:
+        return float(value)
+    for point in meta.get("node_throughput") or []:
+        if point.get("machine_iters_per_us"):
+            return float(point["machine_iters_per_us"])
+    return None
 
 
 def fmt_key(key):
@@ -85,7 +107,12 @@ def main(argv):
         line = ", ".join(
             f"{fmt_key(key)}: {p['tx']:.0f} tx/s" for key, p in sorted(points.items())
         )
-        print(f"  {meta.get('date', '?')} {name} (hw={meta.get('hardware_threads', '?')}): {line}")
+        speed = machine_speed(meta)
+        speed_txt = f", {speed:.0f} iters/µs" if speed else ""
+        print(
+            f"  {meta.get('date', '?')} {name} "
+            f"(hw={meta.get('hardware_threads', '?')}{speed_txt}): {line}"
+        )
 
     if len(loaded) < 2:
         print("check_trajectory: single data point — no transition to gate")
@@ -101,6 +128,25 @@ def main(argv):
             "sustained throughput is not comparable across core counts"
         )
         return 0
+
+    prev_speed, cur_speed = machine_speed(prev_meta), machine_speed(cur_meta)
+    if (prev_speed is None) != (cur_speed is None):
+        unfingerprinted = prev_name if prev_speed is None else cur_name
+        print(
+            f"check_trajectory: SKIP — {unfingerprinted} carries no machine-speed fingerprint; "
+            "without machine_iters_per_us on both sides, absolute tx/s cannot be attributed to "
+            "code vs. host state (shared-infra frequency/steal shifts)"
+        )
+        return 0
+    if prev_speed is not None and cur_speed is not None and prev_speed > 0:
+        drift = abs(cur_speed - prev_speed) / prev_speed
+        if drift > 0.10:
+            print(
+                f"check_trajectory: SKIP — machine speed drifted {drift:.0%} between runs "
+                f"({prev_speed:.0f} -> {cur_speed:.0f} burn-iters/µs); the host, not the code, "
+                "changed — absolute tx/s is not comparable"
+            )
+            return 0
 
     shared = sorted(set(prev_points) & set(cur_points))
     if not shared:

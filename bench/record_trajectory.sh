@@ -20,6 +20,15 @@ DIRTY=""
 git diff --quiet HEAD 2>/dev/null || DIRTY="-dirty"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 HW_THREADS="$(nproc 2>/dev/null || echo 0)"
+# Lift the bench's machine-speed fingerprint (CycleBurner calibration,
+# burn-iterations/µs) into the file header so check_trajectory.py can
+# refuse to compare runs from differently-fast machine states — a
+# same-box frequency or steal-time shift is invisible to hardware_threads.
+MACHINE_SPEED="$(python3 -c "
+import json
+points = json.load(open('$SRC'))
+print(next((p['machine_iters_per_us'] for p in points
+            if p.get('machine_iters_per_us')), 0))" 2>/dev/null || echo 0)"
 
 mkdir -p bench/trajectory
 DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
@@ -28,6 +37,7 @@ DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
   printf '  "commit": "%s%s",\n' "$COMMIT" "$DIRTY"
   printf '  "date": "%s",\n' "$DATE"
   printf '  "hardware_threads": %s,\n' "$HW_THREADS"
+  printf '  "machine_iters_per_us": %s,\n' "$MACHINE_SPEED"
   printf '  "node_throughput": '
   cat "$SRC"
   printf '}\n'
