@@ -114,6 +114,14 @@ void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pi
          << ", \"ring_high_water\": " << mode.last.ring_high_water
          << ", \"conflict_aborts\": " << mode.last.conflict_aborts
          << ", \"lock_table_high_water\": " << mode.last.lock_table_high_water
+         // Arena counters (all zero when the stream ran the heap
+         // baseline): how much of the state layer's page traffic the
+         // World-scoped arena absorbed and recycled.
+         << ", \"arena_chunks\": " << mode.last.arena.chunks
+         << ", \"arena_chunk_bytes\": " << mode.last.arena.chunk_bytes
+         << ", \"arena_live_blocks\": " << mode.last.arena.live_blocks
+         << ", \"arena_recycle_hits\": " << mode.last.arena.recycle_hits
+         << ", \"arena_fresh_allocs\": " << mode.last.arena.fresh_allocs
          << ", \"overlap_speedup\": " << overlap_speedup
          // Machine-speed fingerprint: absolute tx/s is only comparable
          // across trajectory files when the host ran at the same

@@ -4,7 +4,9 @@ bench/trajectory/BENCH_*.json files and fail on a regression.
 
 Each trajectory file (written by record_trajectory.sh) wraps one
 bench_node_throughput run: {commit, date, hardware_threads,
-node_throughput: [points...]}. Points are keyed by
+node_throughput: [points...]}, plus an optional state_scale array (the
+bench_state_scale arena ablation, reported informationally but never
+gated). node_throughput points are keyed by
 (benchmark, pipelined, pipeline_depth); files that predate the depth-k
 ring carry no pipeline_depth field and read as depth 1.
 
@@ -71,6 +73,30 @@ def fmt_key(key):
     benchmark, pipelined, depth = key
     mode = f"pipelined k={depth}" if pipelined else "sequential"
     return f"{benchmark} [{mode}]"
+
+
+def report_state_scale(meta, name):
+    """Informational arena-ablation summary from a file's state_scale
+    points (recorded by record_trajectory.sh when bench_state_scale ran
+    alongside bench_node_throughput). Never gates: the ablation's own
+    acceptance — arena on beating off — is asserted where the points are
+    measured; here the interest is the cross-PR trend line."""
+    points = meta.get("state_scale") or []
+    pairs = {}
+    for point in points:
+        key = (point.get("benchmark", "?"), int(point.get("accounts", 0)))
+        side = "on" if point.get("arena") else "off"
+        pairs.setdefault(key, {})[side] = float(point.get("sustained_tx_per_sec", 0.0))
+    if not pairs:
+        return
+    print(f"  [info] {name} state-scale arena ablation (informational, non-gating):")
+    for (benchmark, accounts), sides in sorted(pairs.items()):
+        on, off = sides.get("on", 0.0), sides.get("off", 0.0)
+        gain = f"{(on - off) / off:+.1%}" if off > 0 else "n/a"
+        print(
+            f"    {benchmark} @ {accounts} accounts: "
+            f"arena {on:.0f} vs heap {off:.0f} tx/s ({gain})"
+        )
 
 
 def main(argv):
@@ -178,6 +204,8 @@ def main(argv):
             f"  [info] {fmt_key(key)}: snapshot_ms {prev_ms:.3f} -> {cur_ms:.3f} "
             f"({delta_txt}; informational, non-gating)"
         )
+
+    report_state_scale(cur_meta, cur_name)
 
     if regressions:
         print(

@@ -30,6 +30,11 @@ points = json.load(open('$SRC'))
 print(next((p['machine_iters_per_us'] for p in points
             if p.get('machine_iters_per_us')), 0))" 2>/dev/null || echo 0)"
 
+# The state-scale ablation rides along when its JSON sits next to the
+# node-throughput file (run_all.sh writes both into one dir). Recorded
+# informationally — check_trajectory.py gates only node_throughput.
+STATE_SRC="$(dirname "$SRC")/bench_state_scale.json"
+
 mkdir -p bench/trajectory
 DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
 {
@@ -38,6 +43,11 @@ DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
   printf '  "date": "%s",\n' "$DATE"
   printf '  "hardware_threads": %s,\n' "$HW_THREADS"
   printf '  "machine_iters_per_us": %s,\n' "$MACHINE_SPEED"
+  if [[ -s "$STATE_SRC" ]] && grep -q '{' "$STATE_SRC"; then
+    printf '  "state_scale": '
+    cat "$STATE_SRC"
+    printf ',\n'
+  fi
   printf '  "node_throughput": '
   cat "$SRC"
   printf '}\n'

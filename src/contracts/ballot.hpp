@@ -61,6 +61,13 @@ class Ballot final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override {
+    voters_.set_arena(arena);
+    vote_counts_.set_arena(arena);
+  }
+
+  /// Pre-sizes the voter roll for `voters` entries (genesis seeding).
+  void raw_reserve(std::size_t voters) { voters_.raw_reserve(voters); }
 
   // --- Typed API (Appendix A functions) --------------------------------
 

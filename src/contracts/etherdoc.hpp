@@ -52,6 +52,15 @@ class EtherDoc final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override {
+    documents_.set_arena(arena);
+    owner_counts_.set_arena(arena);
+    owner_docs_.set_arena(arena);
+  }
+
+  /// Pre-sizes the document table for `documents` entries (genesis
+  /// seeding).
+  void raw_reserve(std::size_t documents) { documents_.raw_reserve(documents); }
 
   // --- Typed API --------------------------------------------------------
 

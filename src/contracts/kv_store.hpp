@@ -34,6 +34,17 @@ class KvStore final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override {
+    eager_.set_arena(arena);
+    lazy_.set_arena(arena);
+  }
+
+  /// Pre-sizes the active backend's table for `entries` keys (genesis
+  /// seeding).
+  void raw_reserve(std::size_t entries) {
+    eager_.raw_reserve(entries);
+    lazy_.raw_reserve(entries);
+  }
 
   // --- Typed API --------------------------------------------------------
 

@@ -31,6 +31,7 @@ class PaymentSplitter final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override { stats_.set_arena(arena); }
 
   /// Pays each payee `amount / payees` tokens from the splitter's own
   /// token balance via nested calls. Reverts if every leg fails; partial

@@ -39,6 +39,15 @@ class SimpleAuction final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override {
+    highest_bidder_.set_arena(arena);
+    highest_bid_.set_arena(arena);
+    pending_returns_.set_arena(arena);
+    ended_.set_arena(arena);
+  }
+
+  /// Pre-sizes pendingReturns for `bidders` entries (genesis seeding).
+  void raw_reserve(std::size_t bidders) { pending_returns_.raw_reserve(bidders); }
 
   // --- Typed API --------------------------------------------------------
 

@@ -27,6 +27,11 @@ class Token final : public vm::Contract {
   void execute(const vm::Call& call, vm::ExecContext& ctx) override;
   void hash_state(vm::StateHasher& hasher) const override;
   [[nodiscard]] std::unique_ptr<vm::Contract> fork() const override;
+  void bind_arena(const vm::ArenaHandle& arena) override { balances_.set_arena(arena); }
+
+  /// Pre-sizes the balance table for `holders` accounts (genesis seeding
+  /// of million-account worlds; see CowPages::reserve).
+  void raw_reserve(std::size_t holders) { balances_.raw_reserve(holders); }
 
   /// Moves `amount` from msg.sender to `to`. The debit reads the sender's
   /// balance (overdraft check) and writes it — an exclusive for-update
@@ -48,6 +53,9 @@ class Token final : public vm::Contract {
     return balances_.raw_get(who);
   }
   [[nodiscard]] vm::Amount raw_total_supply() const { return balances_.raw_total(); }
+  /// Accounts holding a non-zero balance (the Zipf fixtures seed one per
+  /// genesis account).
+  [[nodiscard]] std::size_t holder_count() const { return balances_.size(); }
   [[nodiscard]] const std::string& symbol() const noexcept { return symbol_; }
   [[nodiscard]] const vm::Address& issuer() const noexcept { return issuer_; }
 

@@ -1,6 +1,7 @@
 #include "core/miner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -10,7 +11,9 @@
 namespace concord::core {
 
 Miner::Miner(vm::World& world, MinerConfig config)
-    : config_(config), engine_(world, config.engine()), pool_(config.threads) {}
+    : config_(config), engine_(world, config.engine()), pool_(config.threads) {
+  if (config_.lock_table_reserve > 0) runtime_.locks().reserve(config_.lock_table_reserve);
+}
 
 chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain::Block& parent) {
   const auto n = static_cast<std::uint32_t>(txs.size());
@@ -60,6 +63,9 @@ chain::Block Miner::mine(const std::vector<chain::Transaction>& txs, const chain
   stats_.deadlock_victims = runtime_.deadlocks().victims();
   stats_.lock_table_size = runtime_.locks().size();
   stats_.lock_table_high_water = runtime_.locks().high_water();
+  stats_.lock_table_bucket_count = runtime_.locks().bucket_count();
+  stats_.lock_table_memory_bytes = runtime_.locks().approx_memory_bytes();
+  stats_.lock_table_memory_high_water = runtime_.locks().memory_high_water();
   chain::Block block = assemble(txs, std::move(statuses), std::move(profiles), parent);
   run_detect(block, logs);
   return block;
@@ -145,12 +151,19 @@ chain::Block Miner::assemble(const std::vector<chain::Transaction>& txs,
 
   block.header.number = parent.header.number + 1;
   block.header.parent_hash = parent.hash();
-  block.header.state_root = engine_.world().state_root();
+  {
+    const auto begin = std::chrono::steady_clock::now();
+    block.header.state_root = engine_.world().state_root();
+    stats_.state_root_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin)
+            .count();
+  }
   block.header.tx_root = block.compute_tx_root();
   block.header.status_root = block.compute_status_root();
   block.header.schedule_hash = block.schedule.hash();
 
   stats_.schedule_bytes = block.schedule.encoded_size();
+  stats_.arena = engine_.world().arena_stats();
   return block;
 }
 

@@ -28,6 +28,10 @@ struct MinerConfig {
   /// Deadlock-victim aging makes hitting this a bug, not a workload
   /// property.
   std::size_t max_attempts = 1'000;
+  /// Workload hint: expected distinct abstract-lock ids, pre-bucketing
+  /// the lock table at construction (LockTable::reserve). 0 = no hint.
+  /// The Zipfian large-state benches seed this from the account count.
+  std::size_t lock_table_reserve = 0;
   /// Ablation: strictly-exclusive abstract locks (no READ/INCREMENT
   /// sharing). Blocks mined this way must be validated with the same
   /// setting. See bench_ablation_modes.
@@ -63,6 +67,16 @@ struct MinerStats {
   /// cumulative retained set, not just the locks this block touched.
   std::size_t lock_table_size = 0;
   std::size_t lock_table_high_water = 0;  ///< Max table size over the miner's lifetime.
+  std::size_t lock_table_bucket_count = 0;     ///< Hash buckets across stripes.
+  std::size_t lock_table_memory_bytes = 0;     ///< LockTable::approx_memory_bytes now.
+  std::size_t lock_table_memory_high_water = 0;  ///< Max of the above at boundaries.
+  /// Arena counters of the mined world's lineage (all zero when the
+  /// world runs the heap baseline). Snapshot at block assembly.
+  vm::ArenaStats arena;
+  /// Time computing the block's state root during assembly. O(state),
+  /// not O(block): at million-account scale it dominates mine() wall
+  /// time, so benches that study the execution/state layer subtract it.
+  double state_root_ms = 0.0;
   /// ConcordSan violations found in this block (lockset + soundness);
   /// always 0 when MinerConfig::detect is off. Details live in
   /// Miner::last_detect_report().

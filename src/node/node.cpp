@@ -314,6 +314,9 @@ chain::Block Node::mine_batch(const std::vector<chain::Transaction>& batch,
   stats_.schedule_bytes += mined.schedule_bytes;
   stats_.lock_table_high_water =
       std::max(stats_.lock_table_high_water, mined.lock_table_high_water);
+  stats_.lock_table_memory_high_water =
+      std::max(stats_.lock_table_memory_high_water, mined.lock_table_memory_high_water);
+  stats_.arena = mined.arena;
   stats_.detect_violations += mined.detect_violations;
   if (mined.detect_violations > 0 && !first_detect_report_.has_value()) {
     first_detect_report_ = miner_.last_detect_report();

@@ -72,11 +72,18 @@ class LockTable {
     if (std::size_t hw = high_water_.load(std::memory_order_relaxed); current > hw) {
       high_water_.store(current, std::memory_order_relaxed);
     }
+    if (std::size_t bytes = approx_memory_bytes();
+        bytes > memory_high_water_.load(std::memory_order_relaxed)) {
+      memory_high_water_.store(bytes, std::memory_order_relaxed);
+    }
     const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     for (auto& stripe : stripes_) {
       std::scoped_lock lk(stripe.mu);
       if (current > shrink_threshold) {
-        stripe.locks.clear();
+        // Not clear(): that keeps the bucket array, and after a
+        // million-id block those arrays *are* the footprint. A fresh map
+        // releases them; rebuilds can reserve() their way back.
+        decltype(stripe.locks){}.swap(stripe.locks);
         continue;
       }
       for (auto it = stripe.locks.begin(); it != stripe.locks.end();) {
@@ -111,6 +118,59 @@ class LockTable {
     return std::max(high_water_.load(std::memory_order_relaxed), size());
   }
 
+  /// Total hash-table buckets across all stripes — the table's slot
+  /// footprint, which unordered_map never shrinks on erase. Together
+  /// with approx_memory_bytes() this is what the million-id regression
+  /// test bounds: decay eviction must keep *entries* bounded, and the
+  /// wholesale-drop fallback must keep *buckets* bounded.
+  [[nodiscard]] std::size_t bucket_count() const {
+    std::size_t n = 0;
+    for (const auto& stripe : stripes_) {
+      std::scoped_lock lk(stripe.mu);
+      n += stripe.locks.bucket_count();
+    }
+    return n;
+  }
+
+  /// Estimated resident bytes of the table: bucket array plus per-entry
+  /// node + lock object. Holder-vector capacities inside the locks are
+  /// not visible from here, so this is a floor — but it tracks exactly
+  /// the components that grow with distinct-id count, which is what the
+  /// memory bound is about.
+  [[nodiscard]] std::size_t approx_memory_bytes() const {
+    constexpr std::size_t kPerBucket = sizeof(void*);
+    // Node: the pair, the unordered_map's next pointer + cached hash, and
+    // the heap AbstractLock the Entry points at.
+    constexpr std::size_t kPerEntry = sizeof(std::pair<const LockId, Entry>) +
+                                      2 * sizeof(void*) + sizeof(AbstractLock);
+    std::size_t bytes = 0;
+    for (const auto& stripe : stripes_) {
+      std::scoped_lock lk(stripe.mu);
+      bytes += stripe.locks.bucket_count() * kPerBucket +
+               stripe.locks.size() * kPerEntry;
+    }
+    return bytes;
+  }
+
+  /// Largest approx_memory_bytes() observed at a reset() boundary or now.
+  [[nodiscard]] std::size_t memory_high_water() const {
+    return std::max(memory_high_water_.load(std::memory_order_relaxed),
+                    approx_memory_bytes());
+  }
+
+  /// Workload hint: pre-buckets every stripe for `expected_locks` total
+  /// distinct ids, so a block stream with a known working set (the
+  /// Zipfian benchmarks seed this from the account count) skips the
+  /// incremental rehashing a million try_emplace calls would pay.
+  /// Never shrinks; safe to call between blocks only (like reset()).
+  void reserve(std::size_t expected_locks) {
+    const std::size_t per_stripe = expected_locks / kStripes + 1;
+    for (auto& stripe : stripes_) {
+      std::scoped_lock lk(stripe.mu);
+      stripe.locks.reserve(per_stripe);
+    }
+  }
+
   /// Locks removed by the decay sweep over the table's lifetime
   /// (diagnostic; wholesale drops are not counted here).
   [[nodiscard]] std::uint64_t evicted() const noexcept {
@@ -140,6 +200,7 @@ class LockTable {
 
   std::array<Stripe, kStripes> stripes_;
   std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> memory_high_water_{0};
   /// Number of completed reset()s — the "current block" stamp get()
   /// writes. Atomic so diagnostic reads stay clean; get()/reset() are
   /// already excluded by the reset contract.

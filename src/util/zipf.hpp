@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace concord::util {
+
+/// Bounded Zipf(s) sampler over ranks {0, 1, ..., n-1}: rank k is drawn
+/// with probability proportional to 1/(k+1)^s. Real chain traffic is
+/// Zipf-skewed — a few hot contracts/accounts take most of the touches —
+/// and the million-account workloads (workload::ZipfSpec) use this to
+/// reproduce that regime deterministically.
+///
+/// Implementation: inverse-CDF table + binary search. The table is built
+/// once at construction (O(n) pow calls, ~8 bytes/rank — the only
+/// allocation this type makes), and each sample is one Rng draw plus an
+/// O(log n) upper_bound, with no rejection loop whose iteration count
+/// could depend on floating-point platform details. Sampling draws
+/// exactly one 64-bit value from the caller's Rng per call, so sequences
+/// are reproducible from a seed like everything else rng.hpp feeds.
+///
+/// s = 0 degenerates to the uniform distribution; s around 0.8–1.2 is
+/// the empirical range for contract/account popularity. n must be >= 1.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+    if (!(s >= 0.0)) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+    double running = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      running += std::pow(1.0 / static_cast<double>(k + 1), s);
+      cdf_[k] = running;
+    }
+    // Normalize so the last bucket is exactly 1.0 (guards the binary
+    // search against accumulated rounding at the top end).
+    const double total = cdf_.back();
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;
+  }
+
+  /// Draws one rank in [0, n). Rank 0 is the hottest.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform01();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                     : it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// P(rank < k) — the mass of the k hottest ranks. Used by the
+  /// distribution sanity tests (hot-key mass within tolerance) and handy
+  /// for sizing conflict expectations in workloads.
+  [[nodiscard]] double mass_below(std::size_t k) const noexcept {
+    if (k == 0) return 0.0;
+    return cdf_[std::min(k, cdf_.size()) - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k), normalized.
+};
+
+}  // namespace concord::util

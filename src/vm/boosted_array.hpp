@@ -163,6 +163,13 @@ class BoostedArray {
     data_.push_back(std::move(value));
   }
 
+  /// Routes future chunk allocations through `arena`. See
+  /// CowChunks::set_arena.
+  void set_arena(ArenaHandle arena) {
+    std::scoped_lock lk(mu_);
+    data_.set_arena(std::move(arena));
+  }
+
   [[nodiscard]] T raw_get(std::uint64_t index) const {
     std::scoped_lock lk(mu_);
     if (index >= data_.size()) throw std::out_of_range("BoostedArray::raw_get");

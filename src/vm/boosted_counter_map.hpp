@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
@@ -120,6 +121,20 @@ class BoostedCounterMap {
     store_normalized(key, value);
   }
 
+  /// Routes future page allocations through `arena` (Contract::bind_arena
+  /// forwards here for each field). See CowPages::set_arena.
+  void set_arena(ArenaHandle arena) {
+    std::scoped_lock lk(mu_);
+    data_.set_arena(std::move(arena));
+  }
+
+  /// Pre-sizes the page directory for `expected_entries`, so seeding a
+  /// large genesis state skips the doubling/rehash walk.
+  void raw_reserve(std::size_t expected_entries) {
+    std::scoped_lock lk(mu_);
+    data_.reserve(expected_entries);
+  }
+
   [[nodiscard]] Value raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
     const Value* value = data_.find(key);
@@ -143,17 +158,32 @@ class BoostedCounterMap {
   void hash_state(StateHasher& hasher, std::string_view label) const {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);
-    std::vector<std::pair<std::vector<std::uint8_t>, Value>> items;
+    // All keys go into ONE flat buffer and the sort runs over an offset
+    // index. The per-entry std::vector formulation costs a heap
+    // allocation per key, which at million-account state is most of the
+    // root computation. The digest is byte-identical: same entries,
+    // same lexicographic key order, same put_* calls.
+    util::ByteWriter keys;
+    struct Item {
+      std::size_t begin, end;
+      Value value;
+    };
+    std::vector<Item> items;
     items.reserve(data_.size());
-    data_.for_each([&items](const K& key, Value value) {
-      items.emplace_back(encoded_bytes(key), value);
+    data_.for_each([&keys, &items](const K& key, Value value) {
+      const std::size_t begin = keys.size();
+      encode_value(keys, key);
+      items.push_back(Item{begin, keys.size(), value});
     });
-    std::sort(items.begin(), items.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::uint8_t* buf = keys.bytes().data();
+    std::sort(items.begin(), items.end(), [buf](const Item& a, const Item& b) {
+      return std::lexicographical_compare(buf + a.begin, buf + a.end, buf + b.begin,
+                                          buf + b.end);
+    });
     hasher.put_u64(items.size());
-    for (const auto& [key_bytes, value] : items) {
-      hasher.put_bytes(key_bytes);
-      hasher.put_u64(static_cast<std::uint64_t>(value));
+    for (const Item& item : items) {
+      hasher.put_bytes(std::span(buf + item.begin, item.end - item.begin));
+      hasher.put_u64(static_cast<std::uint64_t>(item.value));
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -198,6 +199,20 @@ class BoostedMap {
     data_.insert_or_assign(key, std::move(value));
   }
 
+  /// Routes future page allocations through `arena` (Contract::bind_arena
+  /// forwards here for each field). See CowPages::set_arena.
+  void set_arena(ArenaHandle arena) {
+    std::scoped_lock lk(mu_);
+    data_.set_arena(std::move(arena));
+  }
+
+  /// Pre-sizes the page directory for `expected_entries`, so seeding a
+  /// large genesis state skips the doubling/rehash walk.
+  void raw_reserve(std::size_t expected_entries) {
+    std::scoped_lock lk(mu_);
+    data_.reserve(expected_entries);
+  }
+
   [[nodiscard]] std::optional<V> raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
     const V* value = data_.find(key);
@@ -214,17 +229,32 @@ class BoostedMap {
   void hash_state(StateHasher& hasher, std::string_view label) const {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);
-    std::vector<std::pair<std::vector<std::uint8_t>, const V*>> items;
+    // Keys and values encode into ONE flat buffer; the sort runs over an
+    // offset index, keyed on the key bytes only (as before). This avoids
+    // two heap allocations per entry — the dominant cost of hashing
+    // million-entry state. Digest bytes are unchanged.
+    util::ByteWriter flat;
+    struct Item {
+      std::size_t key_begin, key_end, value_end;
+    };
+    std::vector<Item> items;
     items.reserve(data_.size());
-    data_.for_each([&items](const K& key, const V& value) {
-      items.emplace_back(encoded_bytes(key), &value);
+    data_.for_each([&flat, &items](const K& key, const V& value) {
+      const std::size_t key_begin = flat.size();
+      encode_value(flat, key);
+      const std::size_t key_end = flat.size();
+      encode_value(flat, value);
+      items.push_back(Item{key_begin, key_end, flat.size()});
     });
-    std::sort(items.begin(), items.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::uint8_t* buf = flat.bytes().data();
+    std::sort(items.begin(), items.end(), [buf](const Item& a, const Item& b) {
+      return std::lexicographical_compare(buf + a.key_begin, buf + a.key_end,
+                                          buf + b.key_begin, buf + b.key_end);
+    });
     hasher.put_u64(items.size());
-    for (const auto& [key_bytes, value] : items) {
-      hasher.put_bytes(key_bytes);
-      hasher.put_bytes(encoded_bytes(*value));
+    for (const Item& item : items) {
+      hasher.put_bytes(std::span(buf + item.key_begin, item.key_end - item.key_begin));
+      hasher.put_bytes(std::span(buf + item.key_end, item.value_end - item.key_end));
     }
   }
 

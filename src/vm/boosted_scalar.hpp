@@ -110,6 +110,12 @@ class BoostedScalar {
     value_.set(std::move(value));
   }
 
+  /// Routes future detaches through `arena`. See CowBox::set_arena.
+  void set_arena(ArenaHandle arena) {
+    std::scoped_lock lk(mu_);
+    value_.set_arena(std::move(arena));
+  }
+
   void hash_state(StateHasher& hasher, std::string_view label) const {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);

@@ -6,9 +6,16 @@ namespace concord::vm {
 
 Contract& ContractRegistry::add(std::unique_ptr<Contract> contract) {
   const Address address = contract->address();
+  if (arena_) contract->bind_arena(arena_);
   auto [it, inserted] = contracts_.try_emplace(address, std::move(contract));
   if (!inserted) throw BadCall("contract address already in use: " + address.to_hex());
   return *it->second;
+}
+
+void ContractRegistry::set_arena(ArenaHandle arena) {
+  arena_ = std::move(arena);
+  if (!arena_) return;
+  for (const auto& [address, contract] : contracts_) contract->bind_arena(arena_);
 }
 
 Contract* ContractRegistry::find(const Address& address) const {
@@ -24,6 +31,7 @@ Contract& ContractRegistry::at(const Address& address) const {
 
 ContractRegistry ContractRegistry::fork() const {
   ContractRegistry replica;
+  replica.arena_ = arena_;
   for (const auto& [address, contract] : contracts_) {
     replica.contracts_.emplace(address, contract->fork());
   }

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "vm/arena.hpp"
 #include "vm/exec_context.hpp"
 #include "vm/state_hasher.hpp"
 #include "vm/types.hpp"
@@ -57,6 +58,16 @@ class Contract {
   /// this contract).
   [[nodiscard]] virtual std::unique_ptr<Contract> fork() const = 0;
 
+  /// Routes the contract's COW storage through `arena` (see
+  /// PageArena). Called by ContractRegistry::add when the registry is
+  /// arena-backed; implementations forward to set_arena on each boosted
+  /// field. Forked contracts inherit the arena with their shared pages
+  /// (fork_state_from copies the handle), so only initial deployment
+  /// needs this hook. The default is a no-op: a contract that doesn't
+  /// override simply keeps heap-backed storage, which is correct, just
+  /// unpooled.
+  virtual void bind_arena(const ArenaHandle& arena) { (void)arena; }
+
  protected:
   /// Deterministic abstract-lock space for a state variable of this
   /// contract: miners and validators on different machines derive the
@@ -94,14 +105,24 @@ class ContractRegistry {
   [[nodiscard]] std::size_t size() const noexcept { return contracts_.size(); }
 
   /// Forks the registry: every contract COW-forked, same address set.
-  /// O(contracts), independent of how much state they hold.
+  /// O(contracts), independent of how much state they hold. The arena
+  /// handle travels with the fork (both through the contracts' shared
+  /// pages and for contracts deployed into the replica later).
   [[nodiscard]] ContractRegistry fork() const;
+
+  /// Arena for contract storage: every contract already deployed is
+  /// rebound, and every future add() binds on deployment. World's
+  /// constructor calls this before genesis seeding.
+  void set_arena(ArenaHandle arena);
+
+  [[nodiscard]] const ArenaHandle& arena() const noexcept { return arena_; }
 
   /// Folds every contract's state, in address order.
   void hash_state(StateHasher& hasher) const;
 
  private:
   std::map<Address, std::unique_ptr<Contract>> contracts_;
+  ArenaHandle arena_;
 };
 
 }  // namespace concord::vm

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "vm/arena.hpp"
+
 namespace concord::vm {
 
 /// Copy-on-write backing stores for the boosted collections.
@@ -21,6 +23,16 @@ namespace concord::vm {
 /// of O(state) — the frozen side of a fork keeps reading the shared pages
 /// while the mutable side peels off private copies entry by entry.
 ///
+/// Memory layer: every allocation these types make — page payloads and
+/// their control blocks, entry buffers, directories — is routed through
+/// an optional World-scoped PageArena (see arena.hpp). The arena handle
+/// travels with the value on copy/fork, so an entire World lineage
+/// (snapshots, ring entries, validator replicas) recycles pages from one
+/// pool; a null handle (the default) reproduces the plain-heap baseline
+/// byte for byte. set_arena() only steers *future* allocations — already
+/// shared pages keep their original backing, which is what lets a lineage
+/// adopt an arena mid-life without touching shared state.
+///
 /// Concurrency contract (matches the collections' existing one): all
 /// access to a *given* CowPages/CowChunks/CowBox instance must be
 /// externally serialized (the collections hold their short physical mutex
@@ -31,10 +43,13 @@ namespace concord::vm {
 /// to a page requires copying a handle that owns it, which the owning
 /// instance's external lock serializes; a concurrent *release* elsewhere
 /// can only make a page spuriously look shared, forcing a harmless copy.
+/// The arena slots freed by that releasing thread re-enter circulation
+/// through PageArena's internal lock, so recycled memory is equally
+/// ordered.
 
 namespace cow_detail {
 
-/// splitmix64 finalizer (local copy — cow.hpp stays dependency-free).
+/// splitmix64 finalizer (local copy — cow.hpp stays dependency-light).
 /// Page indices must stay well-distributed even when the caller's hash is
 /// only mixed in the high bits.
 [[nodiscard]] constexpr std::uint64_t remix64(std::uint64_t x) noexcept {
@@ -51,7 +66,9 @@ namespace cow_detail {
 /// could still race with our upcoming writes (the reason
 /// shared_ptr::unique() was deprecated). The acquire fence pairs with
 /// the release semantics of that final refcount decrement, ordering the
-/// releaser's accesses before ours.
+/// releaser's accesses before ours. Arena-backed pages use the standard
+/// shared_ptr control block (allocate_shared), so this protocol is
+/// identical with the arena on or off.
 template <typename T>
 [[nodiscard]] inline bool sole_owner(const std::shared_ptr<T>& handle) noexcept {
   if (handle.use_count() != 1) return false;
@@ -78,9 +95,17 @@ template <typename T>
 template <typename K, typename V, typename Hash>
 class CowPages {
  public:
-  CowPages() : dir_(std::make_shared<Dir>(1, std::make_shared<Page>())) {}
+  CowPages() : CowPages(ArenaHandle{}) {}
 
-  /// Copying IS forking: O(1), shares the directory and every page.
+  /// All allocations (pages, buffers, directories) go through `arena`;
+  /// null = global heap.
+  explicit CowPages(ArenaHandle arena) : arena_(std::move(arena)) {
+    dir_ = make_dir();
+    dir_->push_back(make_page());
+  }
+
+  /// Copying IS forking: O(1), shares the directory and every page (and
+  /// the arena they live in).
   CowPages(const CowPages&) = default;
   CowPages& operator=(const CowPages&) = default;
   CowPages(CowPages&&) noexcept = default;
@@ -89,11 +114,36 @@ class CowPages {
   /// Named fork for call-site readability.
   [[nodiscard]] CowPages fork() const { return *this; }
 
+  /// Routes future allocations through `arena` (existing pages keep the
+  /// backing they were allocated from). Call while externally
+  /// serialized, like every other mutation — and only before the first
+  /// arena-backed page exists (World binds at construction): the handle
+  /// stored here is what keeps the arena alive for this collection's
+  /// pages, so swapping it later could orphan them.
+  void set_arena(ArenaHandle arena) { arena_ = std::move(arena); }
+
+  [[nodiscard]] const ArenaHandle& arena() const noexcept { return arena_; }
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
   /// Number of pages in the directory (diagnostic; forks copy this many
   /// handles on their first post-fork write).
   [[nodiscard]] std::size_t page_count() const noexcept { return dir_->size(); }
+
+  /// Pre-sizes the directory for `expected_entries` total entries, so a
+  /// large genesis seed (the million-account workloads) runs without the
+  /// doubling walk — each doubling is O(size) and reallocates every page,
+  /// which is exactly the repeated-rehash traffic reserve() removes.
+  /// Never shrinks. Safe at any fill (entries are rehashed once); like
+  /// every mutation it detaches from any fork sharing the directory.
+  void reserve(std::size_t expected_entries) {
+    std::size_t target = 1;
+    while (target * kTargetFill < expected_entries &&
+           target < (std::size_t{1} << 62)) {
+      target <<= 1;
+    }
+    if (target > dir_->size()) rehash_to(target);
+  }
 
   [[nodiscard]] const V* find(const K& key) const {
     const Page& page = *(*dir_)[page_index(key)];
@@ -167,14 +217,31 @@ class CowPages {
   }
 
  private:
-  using Page = std::vector<std::pair<K, V>>;
-  using Dir = std::vector<std::shared_ptr<Page>>;
+  using Entry = std::pair<K, V>;
+  using Page = std::vector<Entry, ArenaAllocator<Entry>>;
+  using Dir = std::vector<std::shared_ptr<Page>, ArenaAllocator<std::shared_ptr<Page>>>;
 
   /// Average entries per page before the directory doubles. Small enough
   /// that a post-fork detach copies a handful of entries; large enough
   /// that the directory (copied wholesale on the first post-fork write)
   /// stays a fraction of the entry count.
   static constexpr std::size_t kTargetFill = 8;
+
+  [[nodiscard]] std::shared_ptr<Page> make_page() const {
+    return arena_make_shared<Page>(arena_, ArenaAllocator<Entry>(arena_));
+  }
+
+  [[nodiscard]] std::shared_ptr<Page> copy_page(const Page& src) const {
+    return arena_make_shared<Page>(arena_, src, ArenaAllocator<Entry>(arena_));
+  }
+
+  [[nodiscard]] std::shared_ptr<Dir> make_dir() const {
+    return arena_make_shared<Dir>(arena_, ArenaAllocator<std::shared_ptr<Page>>(arena_));
+  }
+
+  [[nodiscard]] std::shared_ptr<Dir> copy_dir(const Dir& src) const {
+    return arena_make_shared<Dir>(arena_, src, ArenaAllocator<std::shared_ptr<Page>>(arena_));
+  }
 
   [[nodiscard]] std::size_t page_index(const K& key) const noexcept {
     return static_cast<std::size_t>(cow_detail::remix64(Hash{}(key))) & (dir_->size() - 1);
@@ -183,9 +250,9 @@ class CowPages {
   /// Ensure-unique on write, both levels: private directory, then a
   /// private copy of the page the key lands in.
   Page& mutable_page_for(const K& key) {
-    if (!cow_detail::sole_owner(dir_)) dir_ = std::make_shared<Dir>(*dir_);
+    if (!cow_detail::sole_owner(dir_)) dir_ = copy_dir(*dir_);
     auto& slot = (*dir_)[page_index(key)];
-    if (!cow_detail::sole_owner(slot)) slot = std::make_shared<Page>(*slot);
+    if (!cow_detail::sole_owner(slot)) slot = copy_page(*slot);
     return *slot;
   }
 
@@ -195,11 +262,18 @@ class CowPages {
   /// on a *growing* lineage, never as part of fork or snapshot.
   bool grow_if_needed() {
     if (size_ < dir_->size() * kTargetFill) return false;
-    const std::size_t new_pages = dir_->size() * 2;
-    auto grown = std::make_shared<Dir>();
+    rehash_to(dir_->size() * 2);
+    return true;
+  }
+
+  /// Rebuilds the directory at `new_pages` slots (a power of two),
+  /// redistributing every entry. Shared by the doubling path and
+  /// reserve().
+  void rehash_to(std::size_t new_pages) {
+    auto grown = make_dir();
     grown->reserve(new_pages);
     for (std::size_t i = 0; i < new_pages; ++i) {
-      grown->push_back(std::make_shared<Page>());
+      grown->push_back(make_page());
     }
     for (const auto& page : *dir_) {
       for (const auto& entry : *page) {
@@ -209,9 +283,12 @@ class CowPages {
       }
     }
     dir_ = std::move(grown);
-    return true;
   }
 
+  /// Owns the arena on behalf of every page below. Must stay declared
+  /// before dir_: ArenaAllocator is non-owning, so the pages have to be
+  /// destroyed (and their memory returned) before the handle drops.
+  ArenaHandle arena_;
   std::shared_ptr<Dir> dir_;
   std::size_t size_ = 0;
 };
@@ -224,7 +301,9 @@ class CowChunks {
  public:
   static constexpr std::size_t kChunkCapacity = 64;
 
-  CowChunks() : dir_(std::make_shared<Dir>()) {}
+  CowChunks() : CowChunks(ArenaHandle{}) {}
+
+  explicit CowChunks(ArenaHandle arena) : arena_(std::move(arena)) { dir_ = make_dir(); }
 
   CowChunks(const CowChunks&) = default;
   CowChunks& operator=(const CowChunks&) = default;
@@ -232,6 +311,11 @@ class CowChunks {
   CowChunks& operator=(CowChunks&&) noexcept = default;
 
   [[nodiscard]] CowChunks fork() const { return *this; }
+
+  /// See CowPages::set_arena.
+  void set_arena(ArenaHandle arena) { arena_ = std::move(arena); }
+
+  [[nodiscard]] const ArenaHandle& arena() const noexcept { return arena_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -260,7 +344,7 @@ class CowChunks {
   void push_back(T value) {
     ensure_unique_dir();
     if (size_ % kChunkCapacity == 0) {
-      auto chunk = std::make_shared<Chunk>();
+      auto chunk = make_chunk();
       chunk->reserve(kChunkCapacity);
       dir_->push_back(std::move(chunk));
     }
@@ -285,25 +369,36 @@ class CowChunks {
   }
 
  private:
-  using Chunk = std::vector<T>;
-  using Dir = std::vector<std::shared_ptr<Chunk>>;
+  using Chunk = std::vector<T, ArenaAllocator<T>>;
+  using Dir = std::vector<std::shared_ptr<Chunk>, ArenaAllocator<std::shared_ptr<Chunk>>>;
+
+  [[nodiscard]] std::shared_ptr<Chunk> make_chunk() const {
+    return arena_make_shared<Chunk>(arena_, ArenaAllocator<T>(arena_));
+  }
+
+  [[nodiscard]] std::shared_ptr<Dir> make_dir() const {
+    return arena_make_shared<Dir>(arena_, ArenaAllocator<std::shared_ptr<Chunk>>(arena_));
+  }
 
   void ensure_unique_dir() {
-    if (!cow_detail::sole_owner(dir_)) dir_ = std::make_shared<Dir>(*dir_);
+    if (!cow_detail::sole_owner(dir_)) {
+      dir_ = arena_make_shared<Dir>(arena_, *dir_, ArenaAllocator<std::shared_ptr<Chunk>>(arena_));
+    }
   }
 
   Chunk& mutable_chunk(std::size_t chunk_index) {
     ensure_unique_dir();
     auto& slot = (*dir_)[chunk_index];
     if (!cow_detail::sole_owner(slot)) {
-      auto copy = std::make_shared<Chunk>();
+      auto copy = make_chunk();
       copy->reserve(kChunkCapacity);
-      *copy = *slot;
+      copy->assign(slot->begin(), slot->end());
       slot = std::move(copy);
     }
     return *slot;
   }
 
+  ArenaHandle arena_;  ///< Before dir_ — pages must die first (see CowPages).
   std::shared_ptr<Dir> dir_;
   std::size_t size_ = 0;
 };
@@ -322,18 +417,22 @@ class CowBox {
 
   [[nodiscard]] CowBox fork() const { return *this; }
 
+  /// See CowPages::set_arena: future detaches allocate from `arena`.
+  void set_arena(ArenaHandle arena) { arena_ = std::move(arena); }
+
   [[nodiscard]] const T& get() const noexcept { return *value_; }
 
   /// Ensure-unique, then expose the private value. Valid until the next
   /// fork of this instance.
   [[nodiscard]] T& mutable_ref() {
-    if (!cow_detail::sole_owner(value_)) value_ = std::make_shared<T>(*value_);
+    if (!cow_detail::sole_owner(value_)) value_ = arena_make_shared<T>(arena_, *value_);
     return *value_;
   }
 
   void set(T value) { mutable_ref() = std::move(value); }
 
  private:
+  ArenaHandle arena_;  ///< Before value_ — the box must die first (see CowPages).
   std::shared_ptr<T> value_;
 };
 

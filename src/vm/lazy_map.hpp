@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_map>
@@ -129,6 +130,21 @@ class LazyMap {
     data_.insert_or_assign(key, std::move(value));
   }
 
+  /// Routes future page allocations of the *committed* store through
+  /// `arena` (overlays are transient per-lineage heap objects and stay on
+  /// the heap). See CowPages::set_arena.
+  void set_arena(ArenaHandle arena) {
+    std::scoped_lock lk(mu_);
+    data_.set_arena(std::move(arena));
+  }
+
+  /// Pre-sizes the committed store's page directory. See
+  /// CowPages::reserve.
+  void raw_reserve(std::size_t expected_entries) {
+    std::scoped_lock lk(mu_);
+    data_.reserve(expected_entries);
+  }
+
   [[nodiscard]] std::optional<V> raw_get(const K& key) const {
     std::scoped_lock lk(mu_);
     const V* value = data_.find(key);
@@ -149,17 +165,30 @@ class LazyMap {
   void hash_state(StateHasher& hasher, std::string_view label) const {
     hasher.begin_section(label);
     std::scoped_lock lk(mu_);
-    std::vector<std::pair<std::vector<std::uint8_t>, const V*>> items;
+    // Flat-buffer fold, same as BoostedMap::hash_state: one encoding
+    // buffer + offset index instead of two heap vectors per entry.
+    util::ByteWriter flat;
+    struct Item {
+      std::size_t key_begin, key_end, value_end;
+    };
+    std::vector<Item> items;
     items.reserve(data_.size());
-    data_.for_each([&items](const K& key, const V& value) {
-      items.emplace_back(encoded_bytes(key), &value);
+    data_.for_each([&flat, &items](const K& key, const V& value) {
+      const std::size_t key_begin = flat.size();
+      encode_value(flat, key);
+      const std::size_t key_end = flat.size();
+      encode_value(flat, value);
+      items.push_back(Item{key_begin, key_end, flat.size()});
     });
-    std::sort(items.begin(), items.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::uint8_t* buf = flat.bytes().data();
+    std::sort(items.begin(), items.end(), [buf](const Item& a, const Item& b) {
+      return std::lexicographical_compare(buf + a.key_begin, buf + a.key_end,
+                                          buf + b.key_begin, buf + b.key_end);
+    });
     hasher.put_u64(items.size());
-    for (const auto& [key_bytes, value] : items) {
-      hasher.put_bytes(key_bytes);
-      hasher.put_bytes(encoded_bytes(*value));
+    for (const Item& item : items) {
+      hasher.put_bytes(std::span(buf + item.key_begin, item.key_end - item.key_begin));
+      hasher.put_bytes(std::span(buf + item.key_end, item.value_end - item.key_end));
     }
   }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/sha256.hpp"
+#include "vm/arena.hpp"
 #include "vm/boosted_counter_map.hpp"
 #include "vm/contract.hpp"
 #include "vm/types.hpp"
@@ -19,9 +20,27 @@ namespace concord::vm {
 /// accounts commute and mine in parallel, while reads of a balance
 /// serialize against payments touching it — the same fine-grained
 /// semantics the contracts get.
+///
+/// Memory layer: every World owns an ArenaHandle that its COW state
+/// (balances + every contract field deployed through contracts().add)
+/// allocates from, and fork() shares it — one PageArena serves an entire
+/// World lineage, so the pages a retiring snapshot frees are recycled by
+/// the miner's next detach instead of bouncing through the global heap.
+/// The default constructor turns the arena on; constructing with a null
+/// handle reproduces the plain-heap baseline (bench_state_scale's
+/// ablation). State roots are byte-identical either way — the arena
+/// changes where pages live, never what they contain.
 class World {
  public:
-  World() : balances_(stm::fnv1a64("__world/balances")) {}
+  World() : World(make_arena()) {}
+
+  /// `arena` backs all COW state of this world and its forks; null
+  /// disables pooling (global-heap baseline).
+  explicit World(ArenaHandle arena)
+      : arena_(std::move(arena)), balances_(stm::fnv1a64("__world/balances")) {
+    contracts_.set_arena(arena_);
+    balances_.set_arena(arena_);
+  }
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -60,13 +79,23 @@ class World {
   /// mutating its world (peeling off the dirty pages) while validators,
   /// re-org recovery and read serving share the frozen rest.
   [[nodiscard]] std::unique_ptr<World> fork() const {
-    auto replica = std::make_unique<World>();
+    auto replica = std::make_unique<World>(arena_);
     replica->contracts_ = contracts_.fork();
     replica->balances_.fork_state_from(balances_);
     return replica;
   }
 
+  /// The arena this lineage allocates from (null = heap baseline).
+  [[nodiscard]] const ArenaHandle& arena() const noexcept { return arena_; }
+
+  /// Allocator counters for this lineage (all-zero when the arena is
+  /// off) — surfaced through MinerStats/NodeStats and the bench JSON.
+  [[nodiscard]] ArenaStats arena_stats() const noexcept {
+    return arena_ ? arena_->stats() : ArenaStats{};
+  }
+
  private:
+  ArenaHandle arena_;
   ContractRegistry contracts_;
   BoostedCounterMap<Address> balances_;
 };

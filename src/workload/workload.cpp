@@ -6,7 +6,9 @@
 #include "contracts/ballot.hpp"
 #include "contracts/etherdoc.hpp"
 #include "contracts/simple_auction.hpp"
+#include "contracts/token.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace concord::workload {
 
@@ -15,6 +17,7 @@ namespace {
 using contracts::Ballot;
 using contracts::EtherDoc;
 using contracts::SimpleAuction;
+using contracts::Token;
 
 // Address salts keep the actors of different benchmarks distinct even
 // when a Mixed fixture deploys all three contracts into one world.
@@ -23,14 +26,22 @@ constexpr std::uint8_t kVoterSalt = 0x01;
 constexpr std::uint8_t kBidderSalt = 0x02;
 constexpr std::uint8_t kOwnerSalt = 0x03;
 constexpr std::uint8_t kPersonaSalt = 0x04;  // chairpersons, beneficiaries, creators
+constexpr std::uint8_t kAccountSalt = 0x05;  // Zipf-workload account space
 
 const vm::Address kBallotAddr = vm::Address::from_u64(1, kContractSalt);
 const vm::Address kAuctionAddr = vm::Address::from_u64(2, kContractSalt);
 const vm::Address kEtherDocAddr = vm::Address::from_u64(3, kContractSalt);
+const vm::Address kTokenAddr = vm::Address::from_u64(4, kContractSalt);
 
 const vm::Address kChairperson = vm::Address::from_u64(1, kPersonaSalt);
 const vm::Address kBeneficiary = vm::Address::from_u64(2, kPersonaSalt);
 const vm::Address kCreator = vm::Address::from_u64(3, kPersonaSalt);
+const vm::Address kIssuer = vm::Address::from_u64(4, kPersonaSalt);
+
+/// Account `rank` of a Zipf fixture (rank 0 = hottest).
+[[nodiscard]] vm::Address account_addr(std::uint64_t rank) {
+  return vm::Address::from_u64(rank, kAccountSalt);
+}
 
 /// Fisher–Yates with the fixture RNG: block order is deterministic per
 /// seed but uncorrelated with how conflicts were laid out.
@@ -146,6 +157,92 @@ void build_etherdoc(vm::World& world, const WorkloadSpec& spec, std::uint64_t ac
   }
 }
 
+/// Deploys a Token provisioned with `accounts` seeded balances. Deploy
+/// *first*, then seed: ContractRegistry::add binds the world's arena, so
+/// the genesis pages themselves come out of the pool — at 1M accounts
+/// genesis is most of the fixture's allocation traffic. raw_reserve
+/// pre-sizes the directory so seeding runs without the doubling walk.
+Token& deploy_seeded_token(vm::World& world, std::size_t accounts, vm::Amount seed_balance) {
+  auto& token = static_cast<Token&>(
+      world.contracts().add(std::make_unique<Token>(kTokenAddr, "ZPF", kIssuer)));
+  token.raw_reserve(accounts);
+  for (std::size_t a = 0; a < accounts; ++a) {
+    token.raw_set_balance(account_addr(a), seed_balance);
+  }
+  return token;
+}
+
+/// kTokenTransfers: skew → sender-side WRITE contention, uniform page
+/// pressure across the whole table.
+void build_zipf_transfers(vm::World& world, const ZipfSpec& spec, util::Rng& rng,
+                          std::vector<chain::Transaction>& out) {
+  constexpr vm::Amount kSeedBalance = 1'000'000;
+  deploy_seeded_token(world, spec.accounts, kSeedBalance);
+  const util::ZipfSampler zipf(spec.accounts, spec.skew);
+  for (std::size_t t = 0; t < spec.transactions; ++t) {
+    const vm::Address sender = account_addr(zipf.sample(rng));
+    const vm::Address to = account_addr(zipf.sample(rng));
+    out.push_back(Token::make_transfer_tx(kTokenAddr, sender, to, 1));
+  }
+}
+
+/// kHotPool: conflict_percent of the block hits the shared pool scalars
+/// (bidPlusOne), the rest withdraw their escrowed stake — the AMM shape:
+/// a tiny redline-hot core inside a huge cold table.
+void build_zipf_hot_pool(vm::World& world, const ZipfSpec& spec, util::Rng& rng,
+                         std::vector<chain::Transaction>& out) {
+  constexpr vm::Amount kSeedBid = 100;
+  auto& auction = static_cast<SimpleAuction&>(
+      world.contracts().add(std::make_unique<SimpleAuction>(kAuctionAddr, kBeneficiary)));
+  auction.raw_reserve(spec.accounts);
+  for (std::size_t a = 0; a < spec.accounts; ++a) {
+    auction.raw_add_pending(account_addr(a), kSeedBid);
+  }
+  const vm::Address seed_leader = account_addr(spec.accounts);  // Outside the bidder range.
+  auction.raw_set_highest(seed_leader, 1'000);
+  const auto escrow =
+      static_cast<vm::Amount>(spec.accounts) * kSeedBid + 1'000;
+  world.balances().raw_set(kAuctionAddr, escrow);
+
+  const std::size_t pool_txs =
+      spec.transactions * std::min(spec.conflict_percent, 100u) / 100;
+  const util::ZipfSampler zipf(spec.accounts, spec.skew);
+  // Every pool bid comes from one whale outside the withdrawer range.
+  // bid-plus-one refunds the previous leader, so *distinct* bidders
+  // would make the refund ledger depend on the miner's commit order and
+  // the final root would vary run to run — the arena ablation's
+  // byte-identical-roots check needs order-independent state. A whale
+  // rebidding against itself keeps the scalars exactly as contended
+  // (each bid still takes the exclusive for-update lock) while any
+  // serial order of its identical transactions lands on the same state.
+  const vm::Address whale = account_addr(spec.accounts + 1);
+  for (std::size_t t = 0; t < spec.transactions; ++t) {
+    if (t < pool_txs) {
+      out.push_back(SimpleAuction::make_bid_plus_one_tx(kAuctionAddr, whale));
+    } else {
+      // Zipf-drawn withdrawers. A repeated draw withdraws an
+      // already-zeroed slot — a no-op by the withdrawal pattern — which
+      // mirrors real traffic re-touching a hot account.
+      out.push_back(
+          SimpleAuction::make_withdraw_tx(kAuctionAddr, account_addr(zipf.sample(rng))));
+    }
+  }
+}
+
+/// kAirdrop: every transaction credits a previously-unseen account, so
+/// the block is pure table growth — insert traffic, page splits and
+/// directory doubling over a table that is already `accounts` large.
+void build_zipf_airdrop(vm::World& world, const ZipfSpec& spec, util::Rng& rng,
+                        std::vector<chain::Transaction>& out) {
+  constexpr vm::Amount kSeedBalance = 1'000'000;
+  (void)rng;  // Recipients are sequential-fresh; nothing to draw.
+  deploy_seeded_token(world, spec.accounts, kSeedBalance);
+  for (std::size_t t = 0; t < spec.transactions; ++t) {
+    out.push_back(
+        Token::make_mint_tx(kTokenAddr, kIssuer, account_addr(spec.accounts + t), 1));
+  }
+}
+
 }  // namespace
 
 std::string_view to_string(BenchmarkKind kind) noexcept {
@@ -184,12 +281,50 @@ Fixture make_stream_fixture(const StreamSpec& spec) {
   flat.transactions = spec.total_transactions();
   flat.conflict_percent = spec.conflict_percent;
   flat.seed = spec.seed;
+  flat.use_arena = spec.use_arena;
   return make_fixture(flat);
+}
+
+std::string_view to_string(ZipfScenario scenario) noexcept {
+  switch (scenario) {
+    case ZipfScenario::kTokenTransfers: return "TokenTransfers";
+    case ZipfScenario::kHotPool: return "HotPool";
+    case ZipfScenario::kAirdrop: return "Airdrop";
+  }
+  return "?";
+}
+
+Fixture make_zipf_fixture(const ZipfSpec& spec) {
+  Fixture fixture;
+  fixture.world = std::make_unique<vm::World>(spec.use_arena ? vm::make_arena()
+                                                             : vm::ArenaHandle{});
+  // Salt the RNG stream per scenario so e.g. HotPool and TokenTransfers
+  // at the same seed draw uncorrelated sequences.
+  util::Rng rng(spec.seed ^ 0x5A1Full ^ (static_cast<std::uint64_t>(spec.scenario) << 56));
+
+  switch (spec.scenario) {
+    case ZipfScenario::kTokenTransfers:
+      build_zipf_transfers(*fixture.world, spec, rng, fixture.transactions);
+      fixture.token = kTokenAddr;
+      break;
+    case ZipfScenario::kHotPool:
+      build_zipf_hot_pool(*fixture.world, spec, rng, fixture.transactions);
+      fixture.auction = kAuctionAddr;
+      break;
+    case ZipfScenario::kAirdrop:
+      build_zipf_airdrop(*fixture.world, spec, rng, fixture.transactions);
+      fixture.token = kTokenAddr;
+      break;
+  }
+
+  shuffle(fixture.transactions, rng);
+  return fixture;
 }
 
 Fixture make_fixture(const WorkloadSpec& spec) {
   Fixture fixture;
-  fixture.world = std::make_unique<vm::World>();
+  fixture.world = std::make_unique<vm::World>(spec.use_arena ? vm::make_arena()
+                                                             : vm::ArenaHandle{});
   util::Rng rng(spec.seed ^ (static_cast<std::uint64_t>(spec.kind) << 56));
 
   switch (spec.kind) {

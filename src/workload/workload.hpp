@@ -39,6 +39,11 @@ struct WorkloadSpec {
   /// shared data."
   unsigned conflict_percent = 15;
   std::uint64_t seed = 42;
+  /// Backs the fixture world's COW state with a PageArena (the
+  /// production default); false = global-heap baseline. State roots and
+  /// transaction bytes are identical either way — this toggles only
+  /// where pages live (bench_state_scale's ablation axis).
+  bool use_arena = true;
 };
 
 /// A freshly-built world in its genesis state plus the block's transaction
@@ -50,6 +55,7 @@ struct Fixture {
   vm::Address ballot;    ///< Deployed Ballot (zero when absent).
   vm::Address auction;   ///< Deployed SimpleAuction (zero when absent).
   vm::Address etherdoc;  ///< Deployed EtherDoc (zero when absent).
+  vm::Address token;     ///< Deployed Token (zero when absent; Zipf fixtures).
 
   /// Genesis block recording the fixture's initial state root — the
   /// parent every mined block extends.
@@ -71,6 +77,8 @@ struct StreamSpec {
   std::size_t txs_per_block = 100;
   unsigned conflict_percent = 15;
   std::uint64_t seed = 42;
+  /// See WorkloadSpec::use_arena.
+  bool use_arena = true;
 
   [[nodiscard]] std::size_t total_transactions() const noexcept {
     return blocks * txs_per_block;
@@ -92,5 +100,57 @@ struct StreamSpec {
 /// so the count is never exactly 1; Ballot additionally needs it even).
 [[nodiscard]] std::size_t conflicting_tx_count(std::size_t transactions,
                                                unsigned conflict_percent);
+
+/// The million-account scenarios: the regime the paper's benchmarks never
+/// reach — Zipf-skewed account popularity over a state orders of
+/// magnitude larger than one block touches. Which layer each one
+/// stresses:
+///  - kTokenTransfers: Token transfers with Zipf-drawn senders and
+///    recipients. A hot sender's debit is a read-check-write, so skew
+///    translates directly into WRITE contention while the state layer
+///    serves random-access page detaches across the whole account range.
+///  - kHotPool: AMM-style pool contention via SimpleAuction — a
+///    conflict_percent fraction of transactions are bidPlusOne() calls
+///    hammering the shared pool scalars (the conflict-sweep knob), the
+///    rest are withdraws from Zipf-drawn distinct bidders.
+///  - kAirdrop: a mint storm — the issuer mints to previously-unseen
+///    accounts, so every transaction inserts into the balance table;
+///    page growth and directory doubling are the hot path, not
+///    contention.
+enum class ZipfScenario : std::uint8_t {
+  kTokenTransfers = 0,
+  kHotPool = 1,
+  kAirdrop = 2,
+};
+
+inline constexpr std::array<ZipfScenario, 3> kAllZipfScenarios = {
+    ZipfScenario::kTokenTransfers, ZipfScenario::kHotPool, ZipfScenario::kAirdrop};
+
+[[nodiscard]] std::string_view to_string(ZipfScenario scenario) noexcept;
+
+/// A Zipf-skewed large-state workload configuration.
+struct ZipfSpec {
+  ZipfScenario scenario = ZipfScenario::kTokenTransfers;
+  /// Accounts provisioned in genesis (the state-scale axis; 1M+ is the
+  /// target regime).
+  std::size_t accounts = 1'000'000;
+  /// Zipf exponent s: 0 = uniform, ~1 = real chain-traffic skew.
+  double skew = 0.9;
+  std::size_t transactions = 2'000;
+  /// kHotPool's conflict-sweep knob: percent of transactions that hit
+  /// the shared pool scalars. Ignored by the other scenarios, whose
+  /// contention comes from `skew` alone.
+  unsigned conflict_percent = 15;
+  std::uint64_t seed = 42;
+  /// See WorkloadSpec::use_arena.
+  bool use_arena = true;
+};
+
+/// Deterministically builds a ZipfSpec fixture: a world holding
+/// `accounts` genesis accounts (seeded through CowPages::reserve — no
+/// doubling walk) and `transactions` Zipf-drawn transactions. Same spec
+/// (including seed) → byte-identical genesis root and transaction list,
+/// with or without the arena.
+[[nodiscard]] Fixture make_zipf_fixture(const ZipfSpec& spec);
 
 }  // namespace concord::workload

@@ -578,6 +578,74 @@ TEST(LockTableDecay, SteadyStateUnderDisjointStreamStaysBounded) {
   EXPECT_EQ(table.evicted(), 470u);
 }
 
+// ------------------------------- LockTable memory stats & reserve hint ---
+
+TEST(LockTableStats, DecayKeepsEntriesAndBucketsBoundedUnderChurn) {
+  // The million-id regression, scaled to unit-test time: a long stream
+  // touching fresh ids every block must not grow the table with the
+  // *cumulative* distinct-id count. Decay bounds the entries; entry
+  // bounds cap the bucket arrays (which unordered_map never shrinks on
+  // erase); approx_memory_bytes tracks both.
+  LockTable table;
+  constexpr std::size_t kBlocks = 200;
+  constexpr std::size_t kPerBlock = 1'000;
+  constexpr std::size_t kDecay = 2;
+  std::size_t peak_size = 0;
+  std::size_t peak_buckets = 0;
+  for (std::uint64_t block = 0; block < kBlocks; ++block) {
+    for (std::uint64_t i = 0; i < kPerBlock; ++i) {
+      (void)table.get(LockId{block, i});  // All-new ids every block.
+    }
+    peak_size = std::max(peak_size, table.size());
+    peak_buckets = std::max(peak_buckets, table.bucket_count());
+    table.reset(LockTable::kDefaultShrinkThreshold, kDecay);
+  }
+  constexpr std::size_t kTotalIds = kBlocks * kPerBlock;  // 200k ever touched.
+  // Live entries never exceed the decay window's worth of blocks (the
+  // horizon plus the block just streamed).
+  EXPECT_LE(peak_size, (kDecay + 1) * kPerBlock);
+  // Buckets track the peak *live* set, not the 200k cumulative ids.
+  EXPECT_LT(peak_buckets, kTotalIds / 10);
+  // And the byte estimate therefore stays far under the unbounded-growth
+  // shape, which would retain all kTotalIds entries.
+  constexpr std::size_t kPerEntryFloor = sizeof(void*);  // Deliberately coarse.
+  EXPECT_LT(table.memory_high_water(), kTotalIds * kPerEntryFloor * 4);
+}
+
+TEST(LockTableStats, WholesaleDropReleasesBucketMemory) {
+  LockTable table;
+  for (std::uint64_t i = 0; i < 50'000; ++i) (void)table.get(LockId{1, i});
+  const std::size_t grown_buckets = table.bucket_count();
+  const std::size_t grown_bytes = table.approx_memory_bytes();
+  ASSERT_GT(grown_buckets, 50'000u / 2);  // Load factor ≤ 1: buckets ≈ entries.
+
+  table.reset(/*shrink_threshold=*/1'000);
+  EXPECT_EQ(table.size(), 0u);
+  // The drop must release the bucket arrays too — clear() would keep
+  // them, and after a huge block they are most of the footprint. 64
+  // stripes of a freshly-constructed map is the floor we allow.
+  EXPECT_LE(table.bucket_count(), 64u * 2);
+  EXPECT_LT(table.approx_memory_bytes(), grown_bytes / 100);
+  // The peak remains visible to stats after the memory is gone.
+  EXPECT_GE(table.memory_high_water(), grown_bytes);
+  EXPECT_GE(table.high_water(), 50'000u);
+}
+
+TEST(LockTableStats, ReservePreBucketsTheExpectedWorkingSet) {
+  LockTable table;
+  table.reserve(10'000);
+  const std::size_t reserved_buckets = table.bucket_count();
+  EXPECT_GE(reserved_buckets, 10'000u);
+
+  // Inserting within the hint must not trigger wholesale rehashing: the
+  // ids spread unevenly over the 64 stripes, so allow isolated stripes a
+  // doubling, but the aggregate stays near the reserved shape. (This is
+  // the property the Zipf benchmarks buy with lock_table_reserve.)
+  for (std::uint64_t i = 0; i < 6'400; ++i) (void)table.get(LockId{1, i});
+  EXPECT_LE(table.bucket_count(), reserved_buckets * 2);
+  EXPECT_EQ(table.size(), 6'400u);
+}
+
 // ------------------------------------------- Parallel stress (smoke) ---
 
 TEST(StmStress, ManyThreadsDisjointLocksAllCommit) {

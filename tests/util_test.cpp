@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "util/rng.hpp"
 #include "util/sha256.hpp"
 #include "util/stats.hpp"
+#include "util/zipf.hpp"
 
 namespace concord::util {
 namespace {
@@ -228,6 +230,76 @@ TEST(Stats, SummarizeMs) {
 }
 
 // ------------------------------------------------------- Cycle burner ---
+
+// --------------------------------------------------------------- Zipf ---
+
+TEST(Zipf, SameSeedSameSequence) {
+  const ZipfSampler zipf(10'000, 0.9);
+  Rng a(777);
+  Rng b(777);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  const ZipfSampler zipf(100, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 100u);
+  }
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const ZipfSampler zipf(1'000, 0.0);
+  // Analytic check: with s=0 every rank has mass 1/n exactly.
+  EXPECT_NEAR(zipf.mass_below(1), 0.001, 1e-12);
+  EXPECT_NEAR(zipf.mass_below(500), 0.5, 1e-9);
+  // Empirical check: hottest 10% of ranks draw about 10% of samples.
+  Rng rng(99);
+  int hot = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.sample(rng) < 100) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.1, 0.01);
+}
+
+TEST(Zipf, SkewConcentratesMassOnHotRanks) {
+  // At s=0.9 over 1M ranks, the hot head carries far more than its
+  // uniform share; and empirical frequency tracks mass_below.
+  const ZipfSampler zipf(1'000'000, 0.9);
+  const double hot_mass = zipf.mass_below(1'000);  // Hottest 0.1% of ranks.
+  EXPECT_GT(hot_mass, 0.3);
+  EXPECT_LT(hot_mass, 0.9);
+
+  Rng rng(4242);
+  int hot = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.sample(rng) < 1'000) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, hot_mass, 0.02);
+}
+
+TEST(Zipf, MassBelowIsMonotoneAndCapsAtOne) {
+  const ZipfSampler zipf(50, 1.0);
+  EXPECT_EQ(zipf.mass_below(0), 0.0);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 50; ++k) {
+    const double m = zipf.mass_below(k);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+  EXPECT_DOUBLE_EQ(zipf.mass_below(50), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.mass_below(999), 1.0);  // Clamped past the end.
+  EXPECT_EQ(zipf.size(), 50u);
+}
+
+TEST(Zipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
 
 TEST(CycleBurner, DeterministicResult) {
   EXPECT_EQ(burn_iterations(1000), burn_iterations(1000));

@@ -3,6 +3,7 @@
 #include "contracts/ballot.hpp"
 #include "contracts/etherdoc.hpp"
 #include "contracts/simple_auction.hpp"
+#include "contracts/token.hpp"
 #include "workload/workload.hpp"
 
 namespace concord::workload {
@@ -185,6 +186,75 @@ TEST(Workload, NamesAreStable) {
   EXPECT_EQ(to_string(BenchmarkKind::kSimpleAuction), "SimpleAuction");
   EXPECT_EQ(to_string(BenchmarkKind::kEtherDoc), "EtherDoc");
   EXPECT_EQ(to_string(BenchmarkKind::kMixed), "Mixed");
+}
+
+// ------------------------------------------- Zipf large-state fixtures ---
+
+TEST(ZipfFixture, DeterministicForSameSpec) {
+  ZipfSpec spec;
+  spec.accounts = 2'000;
+  spec.transactions = 200;
+  const Fixture a = make_zipf_fixture(spec);
+  const Fixture b = make_zipf_fixture(spec);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.world->state_root(), b.world->state_root());
+}
+
+TEST(ZipfFixture, ArenaIsInvisibleToStateAndTransactions) {
+  // The memory-layer acceptance property, in unit form: same spec with
+  // the arena on and off must produce byte-identical genesis roots and
+  // transaction streams for every scenario.
+  for (const ZipfScenario scenario : kAllZipfScenarios) {
+    ZipfSpec on;
+    on.scenario = scenario;
+    on.accounts = 3'000;
+    on.transactions = 150;
+    ZipfSpec off = on;
+    off.use_arena = false;
+
+    const Fixture with_arena = make_zipf_fixture(on);
+    const Fixture without = make_zipf_fixture(off);
+    EXPECT_NE(with_arena.world->arena(), nullptr);
+    EXPECT_EQ(without.world->arena(), nullptr);
+    EXPECT_EQ(with_arena.world->state_root(), without.world->state_root())
+        << to_string(scenario);
+    EXPECT_EQ(with_arena.transactions, without.transactions);
+  }
+}
+
+TEST(PaperFixture, ArenaIsInvisibleToStateAndTransactions) {
+  // Same property for the paper's four benchmark workloads.
+  for (const BenchmarkKind kind : kAllBenchmarks) {
+    WorkloadSpec on;
+    on.kind = kind;
+    on.transactions = 120;
+    WorkloadSpec off = on;
+    off.use_arena = false;
+
+    const Fixture with_arena = make_fixture(on);
+    const Fixture without = make_fixture(off);
+    EXPECT_EQ(with_arena.world->state_root(), without.world->state_root())
+        << to_string(kind);
+    EXPECT_EQ(with_arena.transactions, without.transactions);
+  }
+}
+
+TEST(ZipfFixture, GenesisSeedsTheRequestedAccountCount) {
+  ZipfSpec spec;
+  spec.scenario = ZipfScenario::kTokenTransfers;
+  spec.accounts = 1'500;
+  spec.transactions = 50;
+  const Fixture fixture = make_zipf_fixture(spec);
+  ASSERT_NE(fixture.world, nullptr);
+  auto& token = fixture.world->contracts().as<contracts::Token>(fixture.token);
+  EXPECT_EQ(token.holder_count(), 1'500u);
+  EXPECT_EQ(fixture.transactions.size(), 50u);
+}
+
+TEST(ZipfFixture, ScenarioNamesAreStable) {
+  EXPECT_EQ(to_string(ZipfScenario::kTokenTransfers), "TokenTransfers");
+  EXPECT_EQ(to_string(ZipfScenario::kHotPool), "HotPool");
+  EXPECT_EQ(to_string(ZipfScenario::kAirdrop), "Airdrop");
 }
 
 }  // namespace
