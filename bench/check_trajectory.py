@@ -140,6 +140,8 @@ def main(argv):
             f"(hw={meta.get('hardware_threads', '?')}{speed_txt}): {line}"
         )
 
+    report_state_scale(loaded[-1][1], loaded[-1][0])
+
     if len(loaded) < 2:
         print("check_trajectory: single data point — no transition to gate")
         return 0
@@ -204,8 +206,6 @@ def main(argv):
             f"  [info] {fmt_key(key)}: snapshot_ms {prev_ms:.3f} -> {cur_ms:.3f} "
             f"({delta_txt}; informational, non-gating)"
         )
-
-    report_state_scale(cur_meta, cur_name)
 
     if regressions:
         print(
