@@ -7,8 +7,11 @@ bench_node_throughput run: {commit, date, hardware_threads,
 node_throughput: [points...]}, plus an optional state_scale array (the
 bench_state_scale arena ablation, reported informationally but never
 gated). node_throughput points are keyed by
-(benchmark, pipelined, pipeline_depth); files that predate the depth-k
-ring carry no pipeline_depth field and read as depth 1.
+(benchmark, pipelined, pipeline_depth, mine_shards); files that predate
+the depth-k ring carry no pipeline_depth field and read as depth 1, and
+files that predate sharded production carry no mine_shards field and
+read as 1 shard. Only mine_shards == 1 points gate — the shard-scaling
+lane is reported informationally, exactly like state_scale.
 
 The gate compares the NEWEST file against its predecessor only — older
 transitions are history (they were green when committed, and a
@@ -46,6 +49,7 @@ def load_points(path):
             point.get("benchmark", "?"),
             bool(point.get("pipelined")),
             int(point.get("pipeline_depth", 1)),
+            int(point.get("mine_shards", 1)),
         )
         points[key] = {
             "tx": float(point.get("sustained_tx_per_sec", 0.0)),
@@ -70,8 +74,10 @@ def machine_speed(meta):
 
 
 def fmt_key(key):
-    benchmark, pipelined, depth = key
+    benchmark, pipelined, depth, shards = key
     mode = f"pipelined k={depth}" if pipelined else "sequential"
+    if shards > 1:
+        mode += f" shards={shards}"
     return f"{benchmark} [{mode}]"
 
 
@@ -97,6 +103,27 @@ def report_state_scale(meta, name):
             f"    {benchmark} @ {accounts} accounts: "
             f"arena {on:.0f} vs heap {off:.0f} tx/s ({gain})"
         )
+
+
+def report_shard_scaling(points, name):
+    """Informational shard-scaling summary from a file's mine_shards > 1
+    node-throughput points, compared against the 1-shard point at the
+    same (benchmark, pipelined, depth). Never gates: cross-shard traffic
+    makes n-shard throughput workload-dependent by design; the interest
+    here is the cross-PR trend line."""
+    sharded = {key: p for key, p in points.items() if key[3] > 1}
+    if not sharded:
+        return
+    print(f"  [info] {name} shard scaling (informational, non-gating):")
+    for key in sorted(sharded):
+        benchmark, pipelined, depth, shards = key
+        base = points.get((benchmark, pipelined, depth, 1))
+        n_tx = sharded[key]["tx"]
+        if base and base["tx"] > 0:
+            ratio = f"{n_tx / base['tx']:.2f}x vs 1 shard"
+        else:
+            ratio = "no 1-shard reference"
+        print(f"    {fmt_key(key)}: {n_tx:.0f} tx/s ({ratio})")
 
 
 def main(argv):
@@ -141,6 +168,7 @@ def main(argv):
         )
 
     report_state_scale(loaded[-1][1], loaded[-1][0])
+    report_shard_scaling(loaded[-1][2], loaded[-1][0])
 
     if len(loaded) < 2:
         print("check_trajectory: single data point — no transition to gate")
@@ -176,7 +204,9 @@ def main(argv):
             )
             return 0
 
-    shared = sorted(set(prev_points) & set(cur_points))
+    # Gate only the 1-shard keys: shard-scaling points are informational
+    # (cross-shard arbitration makes their throughput workload-shaped).
+    shared = sorted(key for key in set(prev_points) & set(cur_points) if key[3] == 1)
     if not shared:
         print(f"check_trajectory: SKIP — {prev_name} and {cur_name} share no benchmark keys")
         return 0

@@ -24,6 +24,48 @@ cmake --preset "$PRESET"
 cmake --build --preset "$PRESET"
 mkdir -p "$OUT_DIR"
 
+# Concatenates harness-emitted JSON arrays ("[", "  obj[,]"…, "]") into
+# one array at $1 — pure shell, so the fold works where python3 doesn't.
+fold_json_arrays() {
+  local out="$1"
+  shift
+  {
+    echo "["
+    local first=1
+    local part
+    for part in "$@"; do
+      grep -q '{' "$part" || continue
+      [[ $first -eq 0 ]] && echo "  ,"
+      sed '1d;$d' "$part"
+      first=0
+    done
+    echo "]"
+  } > "$out"
+}
+
+# The state-scale bench defaults to one (skew, conflict) point; the
+# trajectory wants the surface, not the point. Sweep both axes — skew is
+# a CSV the binary fans out itself, conflict takes one run per value —
+# and fold every per-conflict array into the bench's single artifact.
+STATE_SCALE_SKEWS="0.6,0.9,1.2"
+STATE_SCALE_CONFLICTS=(5 15 40)
+
+run_state_scale_sweep() {
+  local bin="$1"
+  local parts=()
+  local conflict
+  : > "$OUT_DIR/bench_state_scale.log"
+  for conflict in "${STATE_SCALE_CONFLICTS[@]}"; do
+    local part="$OUT_DIR/bench_state_scale.conflict$conflict.json"
+    echo "--- bench_state_scale --skews=$STATE_SCALE_SKEWS --conflict=$conflict"
+    "$bin" $QUICK --skews="$STATE_SCALE_SKEWS" --conflict="$conflict" \
+      --json="$part" | tee -a "$OUT_DIR/bench_state_scale.log"
+    parts+=("$part")
+  done
+  fold_json_arrays "$OUT_DIR/bench_state_scale.json" "${parts[@]}"
+  rm -f "${parts[@]}"
+}
+
 # Glob the built binaries so the CMake target list stays the single source
 # of truth — a bench added there is picked up here automatically.
 BIN_DIR="build-$PRESET/bench"
@@ -31,6 +73,11 @@ for bin in "$BIN_DIR"/bench_*; do
   [[ -f "$bin" && -x "$bin" ]] || continue
   bench="$(basename "$bin")"
   [[ "$bench" == bench_stm_micro ]] && continue  # google-benchmark CLI, below
+  if [[ "$bench" == bench_state_scale ]]; then
+    echo "=== $bench (skew x conflict sweep)"
+    run_state_scale_sweep "$bin"
+    continue
+  fi
   echo "=== $bench"
   "$bin" $QUICK --json="$OUT_DIR/$bench.json" | tee "$OUT_DIR/$bench.log"
   # Benches with bespoke measurement loops never feed the harness JSON

@@ -1,0 +1,100 @@
+#include "chain/shard_merge.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/happens_before.hpp"
+#include "stm/lock_mode.hpp"
+
+namespace concord::chain {
+
+namespace {
+
+using Footprint = std::unordered_map<stm::LockId, stm::LockMode, stm::LockIdHash>;
+
+/// True when any of the transaction's lock entries conflicts with the
+/// lower-lane winner footprint.
+bool conflicts_with(const Footprint& footprint, const stm::LockProfile& profile) {
+  for (const auto& entry : profile.entries) {
+    const auto it = footprint.find(entry.lock);
+    if (it != footprint.end() && stm::conflicts(it->second, entry.mode)) return true;
+  }
+  return false;
+}
+
+void absorb(Footprint& footprint, const stm::LockProfile& profile) {
+  for (const auto& entry : profile.entries) {
+    auto [it, inserted] = footprint.try_emplace(entry.lock, entry.mode);
+    if (!inserted) it->second = stm::combine(it->second, entry.mode);
+  }
+}
+
+}  // namespace
+
+ShardMergeResult merge_shards(const std::vector<ShardLane>& lanes) {
+  ShardMergeResult result;
+  result.lane_counts.reserve(lanes.size());
+
+  // Winner footprint of strictly lower lanes only: same-lane conflicts
+  // are ordered by the lane's schedule, never arbitrated.
+  Footprint lower;
+
+  for (const ShardLane& lane : lanes) {
+    const std::size_t n = lane.transactions.size();
+    if (lane.statuses.size() != n || lane.profiles.size() != n) {
+      throw std::invalid_argument("merge_shards: lane body/status/profile sizes disagree");
+    }
+
+    // One forward pass decides the lane (the lane order is a topological
+    // order of its own graph, so every predecessor is decided first).
+    const graph::HappensBeforeGraph hb = graph::derive_happens_before(lane.profiles, n);
+    std::vector<bool> lost(n, false);
+    std::uint32_t winners = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (const std::uint32_t p : hb.predecessors(i)) {
+        if (lost[p]) {
+          lost[i] = true;
+          break;
+        }
+      }
+      if (!lost[i] && conflicts_with(lower, lane.profiles[i])) {
+        lost[i] = true;
+        ++result.cross_shard_conflicts;
+      }
+      if (lost[i]) {
+        result.requeued.push_back(lane.transactions[i]);
+        continue;
+      }
+      ++winners;
+      result.transactions.push_back(lane.transactions[i]);
+      result.statuses.push_back(lane.statuses[i]);
+      result.profiles.push_back(lane.profiles[i]);
+      result.origins.push_back(
+          ShardOrigin{static_cast<std::uint32_t>(result.lane_counts.size()), i});
+    }
+    result.lane_counts.push_back(winners);
+
+    // This lane's winners join the footprint the NEXT lane loses against.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!lost[i]) absorb(lower, lane.profiles[i]);
+    }
+  }
+
+  // Re-index and renumber: counters become what a serial execution of the
+  // merged order would have produced (1, 2, 3… per lock in merged order),
+  // exactly mine_serial's synthesis. Renumbering by a linear extension
+  // preserves each lock's run structure — commuting holders stay
+  // commuting, conflicting holders keep their relative order — so the
+  // derived happens-before graph is the lane graphs plus the (already
+  // commuting-free) cross-lane orderings, and validator replay, which
+  // compares (lock, mode) sets only, is unaffected.
+  std::unordered_map<stm::LockId, std::uint64_t, stm::LockIdHash> counters;
+  for (std::size_t m = 0; m < result.profiles.size(); ++m) {
+    stm::LockProfile& profile = result.profiles[m];
+    profile.tx = static_cast<std::uint32_t>(m);
+    for (auto& entry : profile.entries) entry.counter = ++counters[entry.lock];
+  }
+  return result;
+}
+
+}  // namespace concord::chain

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "stm/lock_profile.hpp"
+#include "vm/runner.hpp"
+
+namespace concord::chain {
+
+/// One shard miner's output for a block window: the sub-block it cut from
+/// its lane of the mempool, already in the lane's *equivalent serial
+/// order* (the topological sort of the lane's own happens-before graph),
+/// with statuses and lock profiles aligned to that order.
+///
+/// Preconditions merge_shards() relies on:
+///  - `profiles[i].tx == i` (lane-local indices) with canonical entries,
+///  - the transaction order IS a topological order of the graph the
+///    profiles derive — a loser's happens-before successors always sit
+///    after it, so the intra-lane abort cascade is a single forward pass.
+struct ShardLane {
+  std::uint32_t shard = 0;  ///< Shard index; the arbitration priority.
+  std::vector<Transaction> transactions;
+  std::vector<vm::TxStatus> statuses;
+  std::vector<stm::LockProfile> profiles;
+};
+
+/// Where a merged transaction came from, so the caller can replay winners
+/// of lanes it has not executed yet (lane > 0 on the primary world).
+struct ShardOrigin {
+  std::uint32_t lane = 0;   ///< Index into the merge input, not shard id.
+  std::uint32_t local = 0;  ///< Position inside that lane.
+};
+
+/// The stitched block body: winners only, in the canonical merged order
+/// (lane 0's schedule order, then lane 1's, …), with profiles re-indexed
+/// and use counters renumbered as if the merged order had executed
+/// serially. Losers come back in a deterministic requeue order.
+struct ShardMergeResult {
+  std::vector<Transaction> transactions;
+  std::vector<vm::TxStatus> statuses;
+  std::vector<stm::LockProfile> profiles;
+  std::vector<ShardOrigin> origins;        ///< Aligned with transactions.
+  /// Winners per input lane, in lane order — the sub-schedule structure
+  /// recorded in the block (BlockSchedule::shard_lanes) so validators and
+  /// depth-k recovery can see the lane boundaries inside the merged order.
+  std::vector<std::uint32_t> lane_counts;
+  /// Cross-shard losers: every transaction arbitrated out of the block,
+  /// ordered by (lane, schedule position) — the order they re-enter the
+  /// mempool in, so requeueing is as deterministic as the merge itself.
+  std::vector<Transaction> requeued;
+  /// Losers that conflicted with a lower lane directly (the rest of
+  /// `requeued` is their intra-lane happens-before cascade).
+  std::uint64_t cross_shard_conflicts = 0;
+};
+
+/// Stitches per-shard sub-blocks into ONE byte-reproducible block body.
+///
+/// Deterministic arbitration (paper §4 semantics, shard-extended): shard
+/// order is fixed by position in `lanes`, intra-shard order by the lane's
+/// own schedule. A transaction loses when any of its lock-profile entries
+/// conflicts (stm::conflicts) with the combined footprint of the winners
+/// of LOWER lanes — lower shard wins — and losing cascades to its
+/// happens-before successors inside its own lane (their executions could
+/// have observed the loser's effects). Same-lane conflicts never abort:
+/// the lane's schedule already orders them.
+///
+/// Winners' footprints across lanes are pairwise commuting-or-disjoint by
+/// construction, so replaying the merged order serially reproduces every
+/// lane-local execution exactly — which is why renumbering the use
+/// counters in merged order yields a schedule identical to serial-mining
+/// the merged order, and why it still passes the schedule-soundness
+/// oracle. The result is a pure function of the input lanes.
+[[nodiscard]] ShardMergeResult merge_shards(const std::vector<ShardLane>& lanes);
+
+}  // namespace concord::chain

@@ -1,12 +1,14 @@
 #include "node/mempool.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace concord::node {
 
-Mempool::Mempool(BatchPolicy policy, std::size_t capacity)
-    : policy_(policy), capacity_(capacity) {
+Mempool::Mempool(BatchPolicy policy, std::size_t capacity, std::uint32_t shards)
+    : policy_(policy), capacity_(capacity), shards_(shards) {
   if (policy_.target_txs == 0) {
     throw std::invalid_argument("mempool: target_txs must be positive");
   }
@@ -15,20 +17,55 @@ Mempool::Mempool(BatchPolicy policy, std::size_t capacity)
         "mempool: capacity smaller than target_txs would deadlock producers "
         "against a batch that can never fill");
   }
+  if (shards_ == 0) {
+    throw std::invalid_argument("mempool: shards must be positive");
+  }
+  queues_.resize(shards_);
+  shard_stats_.resize(shards_);
+}
+
+bool Mempool::entry_before(const Entry& a, const Entry& b) const noexcept {
+  if (policy_.content_order && a.content != b.content) return a.content < b.content;
+  return a.seq < b.seq;  // Arrival order; also the duplicate tiebreak.
+}
+
+void Mempool::enqueue(std::uint32_t shard, Entry entry) {
+  auto& q = queues_[shard];
+  if (policy_.content_order) {
+    // Canonical order is not arrival order: insert at the sorted position.
+    const auto pos =
+        std::lower_bound(q.begin(), q.end(), entry, [this](const Entry& a, const Entry& b) {
+          return entry_before(a, b);
+        });
+    q.insert(pos, std::move(entry));
+  } else if (!q.empty() && entry.seq < q.front().seq) {
+    q.push_front(std::move(entry));  // Requeued entries carry front stamps.
+  } else {
+    q.push_back(std::move(entry));
+  }
+  ++count_;
+  ShardStats& ss = shard_stats_[shard];
+  ss.high_water = std::max(ss.high_water, q.size());
+  stats_.high_water = std::max(stats_.high_water, count_);
 }
 
 bool Mempool::submit(chain::Transaction tx) {
   std::unique_lock lk(mu_);
-  space_available_.wait(
-      lk, [this] { return closed_ || capacity_ == 0 || queue_.size() < capacity_; });
+  space_available_.wait(lk,
+                        [this] { return closed_ || capacity_ == 0 || count_ < capacity_; });
   if (closed_) {
     ++stats_.rejected;
     return false;
   }
+  Entry entry;
+  if (policy_.content_order) entry.content = tx.hash();
+  entry.seq = next_seq_++;
   queued_gas_ += tx.gas_limit;
-  queue_.push_back(std::move(tx));
+  const std::uint32_t shard = shard_of(tx, shards_);
   ++stats_.submitted;
-  stats_.high_water = std::max(stats_.high_water, queue_.size());
+  ++shard_stats_[shard].submitted;
+  entry.tx = std::move(tx);
+  enqueue(shard, std::move(entry));
   lk.unlock();
   batch_available_.notify_one();
   return true;
@@ -52,15 +89,56 @@ std::size_t Mempool::submit_many(std::vector<chain::Transaction> txs) {
   return accepted;
 }
 
+void Mempool::requeue_front(const std::vector<chain::Transaction>& txs) {
+  if (txs.empty()) return;
+  {
+    std::scoped_lock lk(mu_);
+    // Stamp the batch with seqs just below the current global front, in
+    // the given order, then insert back-to-front so each shard queue
+    // receives its members via push_front in the right relative order.
+    front_seq_ -= static_cast<std::int64_t>(txs.size());
+    for (std::size_t k = txs.size(); k-- > 0;) {
+      Entry entry;
+      if (policy_.content_order) entry.content = txs[k].hash();
+      entry.seq = front_seq_ + static_cast<std::int64_t>(k);
+      queued_gas_ += txs[k].gas_limit;
+      const std::uint32_t shard = shard_of(txs[k], shards_);
+      ++stats_.requeued;
+      ++shard_stats_[shard].requeued;
+      entry.tx = txs[k];
+      enqueue(shard, std::move(entry));
+    }
+  }
+  batch_available_.notify_one();
+}
+
 std::optional<std::vector<chain::Transaction>> Mempool::next_batch() {
   std::unique_lock lk(mu_);
   batch_available_.wait(lk, [this] { return batch_ready() || closed_; });
-  if (queue_.empty()) return std::nullopt;  // Closed and fully drained.
-  std::vector<chain::Transaction> batch = cut_batch();
+  if (count_ == 0) return std::nullopt;  // Closed and fully drained.
+  auto window = cut_window();
   ++stats_.batches;
   lk.unlock();
   space_available_.notify_all();
+  std::vector<chain::Transaction> batch;
+  batch.reserve(window.size());
+  for (auto& [shard, tx] : window) batch.push_back(std::move(tx));
   return batch;
+}
+
+std::optional<Mempool::Window> Mempool::next_window() {
+  std::unique_lock lk(mu_);
+  batch_available_.wait(lk, [this] { return batch_ready() || closed_; });
+  if (count_ == 0) return std::nullopt;  // Closed and fully drained.
+  auto window = cut_window();
+  ++stats_.batches;
+  lk.unlock();
+  space_available_.notify_all();
+  Window w;
+  w.lanes.resize(shards_);
+  w.transactions = window.size();
+  for (auto& [shard, tx] : window) w.lanes[shard].push_back(std::move(tx));
+  return w;
 }
 
 void Mempool::close() {
@@ -79,12 +157,17 @@ bool Mempool::closed() const {
 
 std::size_t Mempool::size() const {
   std::scoped_lock lk(mu_);
-  return queue_.size();
+  return count_;
 }
 
 MempoolStats Mempool::stats() const {
   std::scoped_lock lk(mu_);
   return stats_;
+}
+
+std::vector<ShardStats> Mempool::shard_stats() const {
+  std::scoped_lock lk(mu_);
+  return shard_stats_;
 }
 
 bool Mempool::batch_ready() const {
@@ -94,21 +177,32 @@ bool Mempool::batch_ready() const {
   // readiness compares the running queue total: gas limits are
   // non-negative, so total ≥ target implies some prefix reaches the
   // target — no per-wakeup queue walk needed.
-  if (queue_.size() >= policy_.target_txs) return true;
+  if (count_ >= policy_.target_txs) return true;
   return policy_.target_gas != 0 && queued_gas_ >= policy_.target_gas;
 }
 
-std::vector<chain::Transaction> Mempool::cut_batch() {
-  std::vector<chain::Transaction> batch;
+std::vector<std::pair<std::uint32_t, chain::Transaction>> Mempool::cut_window() {
+  std::vector<std::pair<std::uint32_t, chain::Transaction>> window;
   std::uint64_t gas = 0;
-  while (!queue_.empty() && batch.size() < policy_.target_txs) {
-    gas += queue_.front().gas_limit;
-    queued_gas_ -= queue_.front().gas_limit;
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+  while (count_ > 0 && window.size() < policy_.target_txs) {
+    // Global-order front: the smallest head across the shard queues.
+    std::uint32_t best = shards_;
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      if (queues_[s].empty()) continue;
+      if (best == shards_ || entry_before(queues_[s].front(), queues_[best].front())) {
+        best = s;
+      }
+    }
+    Entry entry = std::move(queues_[best].front());
+    queues_[best].pop_front();
+    --count_;
+    gas += entry.tx.gas_limit;
+    queued_gas_ -= entry.tx.gas_limit;
+    ++shard_stats_[best].cut;
+    window.emplace_back(best, std::move(entry.tx));
     if (policy_.target_gas != 0 && gas >= policy_.target_gas) break;
   }
-  return batch;
+  return window;
 }
 
 }  // namespace concord::node

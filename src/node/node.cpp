@@ -33,6 +33,9 @@ NodeConfig require_config(NodeConfig config) {
   if (config.pipeline_depth == 0) {
     throw std::invalid_argument("node: pipeline_depth must be >= 1");
   }
+  if (config.mine_shards == 0) {
+    throw std::invalid_argument("node: mine_shards must be >= 1");
+  }
   return config;
 }
 
@@ -46,10 +49,18 @@ Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
       miner_world_(require_world(std::move(world))),
       genesis_(*miner_world_),
       validator_world_(genesis_.materialize()),
-      mempool_(config_.batch, config_.mempool_capacity),
+      mempool_(config_.batch, config_.mempool_capacity, config_.mine_shards),
       miner_(*miner_world_, config_.miner),
       validator_(*validator_world_, config_.validator),
-      chain_(genesis_.state_root()) {}
+      chain_(genesis_.state_root()) {
+  // Lane miners for shards 1..N-1; lane 0 is the primary miner_. Each is
+  // born on a throwaway genesis fork and re-pointed at a fresh fork of
+  // the block boundary every block it mines.
+  for (std::uint32_t s = 1; s < config_.mine_shards; ++s) {
+    shard_worlds_.push_back(genesis_.materialize());
+    shard_miners_.push_back(std::make_unique<core::Miner>(*shard_worlds_.back(), config_.miner));
+  }
+}
 
 void Node::run() {
   if (ran_) throw std::logic_error("Node::run() may only be called once");
@@ -86,14 +97,21 @@ void Node::run_sequential() {
   double snapshot_ms = 0.0;
   std::uint64_t mined = 0;
 
+  const bool sharded = config_.mine_shards > 1;
   while (config_.max_blocks == 0 || mined < config_.max_blocks) {
     const auto t_wait = Clock::now();
-    auto batch = mempool_.next_batch();
+    std::optional<std::vector<chain::Transaction>> batch;
+    std::optional<Mempool::Window> window;
+    if (sharded) {
+      window = mempool_.next_window();
+    } else {
+      batch = mempool_.next_batch();
+    }
     mempool_wait += ms_since(t_wait);
-    if (!batch) break;
+    if (sharded ? !window.has_value() : !batch.has_value()) break;
 
     const auto t_mine = Clock::now();
-    chain::Block block = mine_batch(*batch, parent);
+    chain::Block block = sharded ? mine_window(*window, parent) : mine_batch(*batch, parent);
     mine_ms += ms_since(t_mine);
     ++mined;
     const std::size_t block_txs = block.transactions.size();
@@ -126,6 +144,7 @@ void Node::run_sequential() {
     stats_.recovery_ms += ms_since(t_recover);
   }
 
+  mining_done_.store(true, std::memory_order_release);
   stats_.mine_ms = mine_ms;
   stats_.validate_ms = validate_ms;
   stats_.mempool_wait_ms = mempool_wait;
@@ -156,6 +175,7 @@ void Node::run_pipelined() {
         std::optional<InFlightBlock> entry = ring.pop();
         validator_stall += ms_since(t_wait);
         if (!entry) break;  // Mining finished and the ring drained.
+        if (config_.pre_validate_hook) config_.pre_validate_hook(entry->block);
         const std::size_t block_txs = entry->block.transactions.size();
         if (validate_and_append(std::move(entry->block), validate_ms)) continue;
 
@@ -231,20 +251,27 @@ void Node::run_pipelined() {
     m_recovery_ms += ms_since(t_recover);
   };
 
+  const bool sharded = config_.mine_shards > 1;
   try {
     while (!validation_stopped.load(std::memory_order_relaxed) &&
            (config_.max_blocks == 0 || mined < config_.max_blocks)) {
       const auto t_wait = Clock::now();
-      auto batch = mempool_.next_batch();
+      std::optional<std::vector<chain::Transaction>> batch;
+      std::optional<Mempool::Window> window;
+      if (sharded) {
+        window = mempool_.next_window();
+      } else {
+        batch = mempool_.next_batch();
+      }
       mempool_wait += ms_since(t_wait);
-      if (!batch) break;
+      if (sharded ? !window.has_value() : !batch.has_value()) break;
 
       // A rejection may have landed while this stage waited for traffic;
       // recover before mining the fresh batch on a doomed parent.
       if (ring.abort_requested()) recover();
 
       const auto t_mine = Clock::now();
-      chain::Block block = mine_batch(*batch, parent);
+      chain::Block block = sharded ? mine_window(*window, parent) : mine_batch(*batch, parent);
       mine_ms += ms_since(t_mine);
       ++mined;
       const std::size_t block_txs = block.transactions.size();
@@ -285,6 +312,7 @@ void Node::run_pipelined() {
     miner_error = std::current_exception();
   }
 
+  mining_done_.store(true, std::memory_order_release);
   ring.close();
   validator_thread.join();
   if (miner_error) std::rethrow_exception(miner_error);
@@ -303,22 +331,101 @@ void Node::run_pipelined() {
   stats_.ring_high_water = ring.stats().high_water;
 }
 
+void Node::fold_lane_stats(const core::MinerStats& mined) {
+  stats_.attempts += mined.attempts;
+  stats_.conflict_aborts += mined.conflict_aborts;
+  stats_.deadlock_victims += mined.deadlock_victims;
+  stats_.lock_table_high_water =
+      std::max(stats_.lock_table_high_water, mined.lock_table_high_water);
+  stats_.lock_table_memory_high_water =
+      std::max(stats_.lock_table_memory_high_water, mined.lock_table_memory_high_water);
+}
+
 chain::Block Node::mine_batch(const std::vector<chain::Transaction>& batch,
                               const chain::Block& parent) {
   chain::Block block = config_.mining == MiningMode::kSerial ? miner_.mine_serial(batch, parent)
                                                              : miner_.mine(batch, parent);
   const core::MinerStats& mined = miner_.last_stats();
-  stats_.attempts += mined.attempts;
-  stats_.conflict_aborts += mined.conflict_aborts;
-  stats_.deadlock_victims += mined.deadlock_victims;
+  fold_lane_stats(mined);
   stats_.schedule_bytes += mined.schedule_bytes;
-  stats_.lock_table_high_water =
-      std::max(stats_.lock_table_high_water, mined.lock_table_high_water);
-  stats_.lock_table_memory_high_water =
-      std::max(stats_.lock_table_memory_high_water, mined.lock_table_memory_high_water);
   stats_.arena = mined.arena;
   stats_.detect_violations += mined.detect_violations;
   if (mined.detect_violations > 0 && !first_detect_report_.has_value()) {
+    first_detect_report_ = miner_.last_detect_report();
+  }
+  if (config_.post_mine_hook) config_.post_mine_hook(block);
+  return block;
+}
+
+chain::Block Node::mine_window(const Mempool::Window& window, const chain::Block& parent) {
+  const std::uint32_t shards = config_.mine_shards;
+
+  // Fork each busy lane's world off the primary BEFORE lane 0 mutates
+  // it: every lane executes against the same block boundary.
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    if (window.lanes[s].empty()) continue;
+    shard_worlds_[s - 1] = miner_world_->fork();
+    shard_miners_[s - 1]->resume_from(*shard_worlds_[s - 1]);
+  }
+
+  std::vector<core::Miner::LaneResult> lanes(shards);
+  std::vector<std::exception_ptr> lane_errors(shards);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(shards - 1);
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      if (window.lanes[s].empty()) continue;  // Nothing routed here this block.
+      workers.emplace_back([this, s, &window, &lanes, &lane_errors] {
+        try {
+          core::Miner& lane_miner = *shard_miners_[s - 1];
+          lanes[s] = config_.mining == MiningMode::kSerial
+                         ? lane_miner.mine_lane_serial(window.lanes[s])
+                         : lane_miner.mine_lane(window.lanes[s]);
+        } catch (...) {
+          lane_errors[s] = std::current_exception();
+        }
+      });
+    }
+    try {
+      lanes[0] = config_.mining == MiningMode::kSerial ? miner_.mine_lane_serial(window.lanes[0])
+                                                       : miner_.mine_lane(window.lanes[0]);
+    } catch (...) {
+      lane_errors[0] = std::current_exception();
+    }
+  }  // Joins the lane workers.
+  for (const auto& error : lane_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    if (!window.lanes[s].empty()) fold_lane_stats(shard_miners_[s - 1]->last_stats());
+  }
+
+  // Merge: lane index == shard id (empty lanes stay in so lane_counts
+  // and ShardOrigin::lane read as shard ids end-to-end).
+  std::vector<chain::ShardLane> merge_input;
+  merge_input.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    lanes[s].lane.shard = s;
+    merge_input.push_back(std::move(lanes[s].lane));
+  }
+  chain::ShardMergeResult merged = chain::merge_shards(merge_input);
+  stats_.cross_shard_conflicts += merged.cross_shard_conflicts;
+  if (!merged.requeued.empty()) {
+    // Losers take another lap at the front of the global order, so they
+    // land in the very next block (where, with the conflicting winner now
+    // committed, the lowest occupied lane's total win guarantees they can
+    // not lose forever).
+    stats_.requeued_transactions += merged.requeued.size();
+    mempool_.requeue_front(merged.requeued);
+  }
+
+  chain::Block block = miner_.seal_merged(std::move(merged), std::move(lanes[0].logs), parent);
+  const core::MinerStats& sealed = miner_.last_stats();
+  fold_lane_stats(sealed);
+  stats_.schedule_bytes += sealed.schedule_bytes;
+  stats_.arena = sealed.arena;
+  stats_.detect_violations += sealed.detect_violations;
+  if (sealed.detect_violations > 0 && !first_detect_report_.has_value()) {
     first_detect_report_ = miner_.last_detect_report();
   }
   if (config_.post_mine_hook) config_.post_mine_hook(block);

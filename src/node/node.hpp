@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "core/miner.hpp"
@@ -39,6 +41,16 @@ struct NodeConfig {
   MiningMode mining = MiningMode::kSpeculative;
   std::size_t max_blocks = 0;        ///< 0 = run until the mempool closes and drains.
 
+  /// Parallel shard miners per block. 1 (the default) is the exact
+  /// pre-shard single-miner path — same batches, same blocks, byte for
+  /// byte. N > 1 stripes the mempool by the deterministic shard router,
+  /// mines each shard's lane concurrently (each lane miner executes on
+  /// its own COW fork of the block boundary) and stitches the lanes into
+  /// one block through chain::merge_shards — cross-shard conflict losers
+  /// are re-queued at the mempool front and counted in NodeStats. Must
+  /// be ≥ 1 (enforced at construction).
+  std::uint32_t mine_shards = 1;
+
   /// Capacity of the miner→validator handoff ring: how many mined blocks
   /// may be in flight (handed off but not yet validated) at once, i.e.
   /// how far mining may speculate past validation. 1 = the original
@@ -60,6 +72,14 @@ struct NodeConfig {
   /// state root — to exercise the rejection/re-org recovery path. Not
   /// part of the consensus surface.
   std::function<void(chain::Block&)> post_mine_hook;
+
+  /// Test seam symmetric to post_mine_hook, on the other stage: invoked
+  /// on the validator thread for each block popped off the handoff ring,
+  /// before it is validated. Lets tests pin the pipeline's interleaving
+  /// (e.g. hold validation of block N until Node::mining_done(), so the
+  /// ring fill at a rejection is deterministic instead of a race between
+  /// the stages). Not part of the consensus surface.
+  std::function<void(const chain::Block&)> pre_validate_hook;
 };
 
 /// Per-stage counters for one run() — the sustained-traffic numbers the
@@ -105,6 +125,14 @@ struct NodeStats {
   double snapshot_ms = 0.0;
   /// Max mined-but-unvalidated blocks in flight at once (≤ pipeline_depth).
   std::size_t ring_high_water = 0;
+
+  // Sharded production (all zero when mine_shards == 1).
+  /// Merge-arbitration losers: lane transactions that conflicted with a
+  /// lower shard's winners and were cut from their block.
+  std::uint64_t cross_shard_conflicts = 0;
+  /// Loser transactions re-queued at the mempool front for the next
+  /// block (direct losers plus their same-lane dependents).
+  std::uint64_t requeued_transactions = 0;
 
   // Aggregated over every mined block.
   std::uint64_t attempts = 0;
@@ -205,6 +233,13 @@ class Node {
     return first_detect_report_;
   }
 
+  /// True once the mining stage has pushed its last block (or failed) —
+  /// from then on the handoff ring only drains. The validator-side
+  /// ordering signal pre_validate_hook tests synchronize on.
+  [[nodiscard]] bool mining_done() const noexcept {
+    return mining_done_.load(std::memory_order_acquire);
+  }
+
  private:
   void run_pipelined();
   void run_sequential();
@@ -214,6 +249,19 @@ class Node {
   /// extending `parent`.
   [[nodiscard]] chain::Block mine_batch(const std::vector<chain::Transaction>& batch,
                                         const chain::Block& parent);
+
+  /// Sharded flavor of mine_batch (mine_shards > 1): mines each lane of
+  /// the window concurrently — lane 0 on this thread against the primary
+  /// world, lanes ≥ 1 on their own threads against per-block COW forks —
+  /// merges the lanes (chain::merge_shards), re-queues the losers and
+  /// seals the merged block on the primary miner.
+  [[nodiscard]] chain::Block mine_window(const Mempool::Window& window,
+                                         const chain::Block& parent);
+
+  /// Folds one lane miner's execution counters into the node aggregates
+  /// (the block-level fields — schedule bytes, arena, detect — come from
+  /// the primary miner's seal).
+  void fold_lane_stats(const core::MinerStats& mined);
 
   /// Validates and appends; on rejection records the first failure_ and
   /// returns false (leaving the validator world dirty — the caller owns
@@ -229,12 +277,19 @@ class Node {
   vm::WorldSnapshot genesis_;  ///< Frozen before the miner's world moves.
   std::unique_ptr<vm::World> validator_world_;  ///< genesis_.materialize().
   Mempool mempool_;
-  core::Miner miner_;
+  core::Miner miner_;  ///< The primary (lane 0) miner over miner_world_.
   core::Validator validator_;
   chain::Blockchain chain_;
+  /// Lane miners for shards 1..mine_shards-1 (empty when mine_shards ==
+  /// 1) and the per-block boundary forks they execute on. The worlds are
+  /// replaced each block; they must outlive the block (each lane miner's
+  /// engine holds a reference until its next resume_from).
+  std::vector<std::unique_ptr<core::Miner>> shard_miners_;
+  std::vector<std::unique_ptr<vm::World>> shard_worlds_;
   NodeStats stats_;
   std::optional<core::ValidationReport> failure_;
   std::optional<detect::DetectReport> first_detect_report_;
+  std::atomic<bool> mining_done_{false};
   bool ran_ = false;
 };
 
