@@ -132,6 +132,11 @@ void emit_json(const workload::StreamSpec& spec, const ModeResult& mode, bool pi
          << ", \"arena_live_blocks\": " << mode.last.arena.live_blocks
          << ", \"arena_recycle_hits\": " << mode.last.arena.recycle_hits
          << ", \"arena_fresh_allocs\": " << mode.last.arena.fresh_allocs
+         // Cross-stripe free-list traffic: how often an allocating stripe
+         // went shopping in a sibling's list. The per-shard stripe
+         // affinity exists to keep these low relative to recycle_hits.
+         << ", \"arena_steal_attempts\": " << mode.last.arena.steal_attempts
+         << ", \"arena_steal_hits\": " << mode.last.arena.steal_hits
          << ", \"overlap_speedup\": " << overlap_speedup
          // Machine-speed fingerprint: absolute tx/s is only comparable
          // across trajectory files when the host ran at the same

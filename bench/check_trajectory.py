@@ -4,9 +4,10 @@ bench/trajectory/BENCH_*.json files and fail on a regression.
 
 Each trajectory file (written by record_trajectory.sh) wraps one
 bench_node_throughput run: {commit, date, hardware_threads,
-node_throughput: [points...]}, plus an optional state_scale array (the
-bench_state_scale arena ablation, reported informationally but never
-gated). node_throughput points are keyed by
+node_throughput: [points...]}, plus optional state_scale and read_storm
+arrays (the bench_state_scale arena ablation and the bench_read_storm
+MVCC read-path storm, both reported informationally but never gated).
+node_throughput points are keyed by
 (benchmark, pipelined, pipeline_depth, mine_shards); files that predate
 the depth-k ring carry no pipeline_depth field and read as depth 1, and
 files that predate sharded production carry no mine_shards field and
@@ -105,6 +106,29 @@ def report_state_scale(meta, name):
         )
 
 
+def report_read_storm(meta, name):
+    """Informational MVCC read-path summary from a file's read_storm
+    points (recorded by record_trajectory.sh when bench_read_storm ran
+    alongside bench_node_throughput). Never gates: read QPS and the
+    write-path delta are core-count-shaped (a 1-vCPU runner timeshares
+    readers against the miner), so the interest is the cross-PR trend
+    line, and the bench's own pinned-root check is the correctness
+    gate where the points are measured."""
+    points = meta.get("read_storm") or []
+    if not points:
+        return
+    print(f"  [info] {name} MVCC read storm (informational, non-gating):")
+    for point in points:
+        qps = float(point.get("read_qps", 0.0))
+        p99 = float(point.get("read_p99_us", 0.0))
+        delta = float(point.get("write_delta_pct", 0.0))
+        print(
+            f"    {point.get('benchmark', '?')} shards={point.get('mine_shards', 1)} "
+            f"readers={point.get('readers', 0)}: {qps:.0f} reads/s "
+            f"(p99 {p99:.1f}µs), write-path delta {delta:+.1f}%"
+        )
+
+
 def report_shard_scaling(points, name):
     """Informational shard-scaling summary from a file's mine_shards > 1
     node-throughput points, compared against the 1-shard point at the
@@ -168,6 +192,7 @@ def main(argv):
         )
 
     report_state_scale(loaded[-1][1], loaded[-1][0])
+    report_read_storm(loaded[-1][1], loaded[-1][0])
     report_shard_scaling(loaded[-1][2], loaded[-1][0])
 
     if len(loaded) < 2:

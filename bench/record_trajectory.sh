@@ -35,6 +35,10 @@ print(next((p['machine_iters_per_us'] for p in points
 # informationally — check_trajectory.py gates only node_throughput.
 STATE_SRC="$(dirname "$SRC")/bench_state_scale.json"
 
+# Same deal for the MVCC read storm: read QPS / latency / write-path
+# delta recorded informationally next to the gated throughput points.
+READ_SRC="$(dirname "$SRC")/bench_read_storm.json"
+
 mkdir -p bench/trajectory
 DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
 {
@@ -46,6 +50,11 @@ DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
   if [[ -s "$STATE_SRC" ]] && grep -q '{' "$STATE_SRC"; then
     printf '  "state_scale": '
     cat "$STATE_SRC"
+    printf ',\n'
+  fi
+  if [[ -s "$READ_SRC" ]] && grep -q '{' "$READ_SRC"; then
+    printf '  "read_storm": '
+    cat "$READ_SRC"
     printf ',\n'
   fi
   printf '  "node_throughput": '

@@ -15,11 +15,28 @@ Miner::Miner(vm::World& world, MinerConfig config)
   if (config_.lock_table_reserve > 0) runtime_.locks().reserve(config_.lock_table_reserve);
 }
 
+void Miner::bind_arena_stripe() {
+  if (affinity_width_ == 0) return;
+  // One bind per (thread, miner): pool workers live as long as the miner,
+  // so after the first task this is a single thread_local compare. Lane
+  // orchestration threads are fresh per block and re-bind each time —
+  // the cursor keeps rotating them through the miner's stripe slice.
+  static thread_local const Miner* bound_for = nullptr;
+  static thread_local unsigned bound_value = 0;
+  if (bound_for != this) {
+    bound_for = this;
+    bound_value =
+        affinity_base_ + affinity_cursor_.fetch_add(1, std::memory_order_relaxed) % affinity_width_;
+  }
+  vm::PageArena::bind_thread_stripe(bound_value);
+}
+
 void Miner::run_speculative(const std::vector<chain::Transaction>& txs,
                             std::vector<stm::LockProfile>& profiles,
                             std::vector<vm::TxStatus>& statuses,
                             std::vector<stm::AccessRecorder>& logs) {
   const auto n = static_cast<std::uint32_t>(txs.size());
+  bind_arena_stripe();  // The orchestrating thread assembles/seals here too.
   runtime_.reset();  // "When a miner starts a block, it sets these counters to zero."
   stats_ = MinerStats{};
   stats_.transactions = n;
@@ -42,6 +59,7 @@ void Miner::run_speculative(const std::vector<chain::Transaction>& txs,
     pool_.submit([this, i, &txs, &profiles, &statuses, &attempts, &aborts, &logs] {
       // Pool tasks must not throw: capture harness failures for rethrow.
       try {
+        bind_arena_stripe();
         SpeculativeOutcome outcome =
             engine_.execute_speculative(runtime_, i, txs[i], config_.max_attempts,
                                         logs.empty() ? nullptr : &logs[i]);
@@ -77,6 +95,7 @@ void Miner::run_serial(const std::vector<chain::Transaction>& txs,
                        std::vector<vm::TxStatus>& statuses,
                        std::vector<stm::AccessRecorder>& logs) {
   const auto n = static_cast<std::uint32_t>(txs.size());
+  bind_arena_stripe();
   stats_ = MinerStats{};
   stats_.transactions = n;
   stats_.attempts = n;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -158,6 +159,19 @@ class Miner {
   /// included) survive the resume.
   void resume_from(vm::World& world);
 
+  /// Binds this miner's executing threads (the speculative pool workers
+  /// and whatever thread drives the serial/lane path) to a slice of the
+  /// world arena's stripes: thread t → stripe (base + t mod width), mod
+  /// PageArena::kStripeCount. The node keys this by shard id so
+  /// concurrent lane miners recycle pages within their own stripe slice
+  /// instead of meeting on shared free lists (surfaced as
+  /// ArenaStats::steal_attempts/steal_hits). width 0 — the default —
+  /// keeps the process-wide round-robin. Call before mining, not during.
+  void set_arena_affinity(unsigned base, unsigned width) noexcept {
+    affinity_base_ = base;
+    affinity_width_ = width;
+  }
+
   [[nodiscard]] const MinerStats& last_stats() const noexcept { return stats_; }
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
 
@@ -196,12 +210,23 @@ class Miner {
   /// populates detect_report_ and stats_.detect_violations.
   void run_detect(const chain::Block& block, std::span<const stm::AccessRecorder> logs);
 
+  /// Applies the arena-affinity plan to the calling thread (no-op when
+  /// width is 0 or the thread is already bound for this miner). Cheap
+  /// enough to call at every task start: one thread_local compare.
+  void bind_arena_stripe();
+
   MinerConfig config_;
   ExecutionEngine engine_;
   stm::BoostingRuntime runtime_;
   sched::ThreadPool pool_;
   MinerStats stats_;
   detect::DetectReport detect_report_;
+
+  // Arena-affinity plan (see set_arena_affinity): threads binding for
+  // this miner take stripes base, base+1, … base+width-1 round-robin.
+  unsigned affinity_base_ = 0;
+  unsigned affinity_width_ = 0;  ///< 0 = no affinity (global round-robin).
+  std::atomic<unsigned> affinity_cursor_{0};
 
   // Worker-error capture (pool tasks must not throw).
   std::mutex error_mu_;

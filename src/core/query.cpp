@@ -1,0 +1,102 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vm/errors.hpp"
+#include "vm/exec_context.hpp"
+#include "vm/gas.hpp"
+#include "vm/runner.hpp"
+
+namespace concord::core {
+
+namespace {
+
+/// Keeps the synthetic msg frame balanced across every exit path of a
+/// fn-shaped query (mirrors the runner's MsgFrame, which is internal to
+/// run_call).
+class QueryFrame {
+ public:
+  QueryFrame(vm::ExecContext& ctx, const vm::MsgContext& msg) : ctx_(ctx) { ctx_.push_msg(msg); }
+  ~QueryFrame() { ctx_.pop_msg(); }
+  QueryFrame(const QueryFrame&) = delete;
+  QueryFrame& operator=(const QueryFrame&) = delete;
+
+ private:
+  vm::ExecContext& ctx_;
+};
+
+const vm::World& frozen_world(const vm::WorldSnapshot& snapshot) {
+  if (!snapshot.valid()) {
+    // A handle bug, not a query outcome: the caller is asking "as of"
+    // nothing. Node::query_at turns missing boundaries into
+    // SnapshotEvicted long before this.
+    throw std::logic_error("run_query on an invalid WorldSnapshot handle");
+  }
+  return snapshot.world();
+}
+
+}  // namespace
+
+QueryOutcome run_query(const vm::WorldSnapshot& snapshot, const QueryConfig& config,
+                       const QueryFn& fn) {
+  const vm::World& world = frozen_world(snapshot);
+  vm::ExecContext ctx = vm::ExecContext::read_only(
+      world, vm::GasMeter(config.gas_cap, config.nanos_per_gas));
+
+  QueryOutcome outcome;
+  try {
+    // Queries get an anonymous outermost frame so contract code reading
+    // msg() behaves identically on and off the read path.
+    const QueryFrame frame(ctx, vm::MsgContext{});
+    ctx.gas().charge(vm::gas::kTxBase);
+    fn(world, ctx);
+    outcome.status = QueryStatus::kOk;
+  } catch (const vm::OutOfGas&) {
+    outcome.status = QueryStatus::kOutOfGas;
+  } catch (const vm::ReadOnlyViolation&) {
+    outcome.status = QueryStatus::kMutationRejected;
+  } catch (const vm::RevertError&) {
+    outcome.status = QueryStatus::kReverted;
+  }
+  outcome.gas_used = ctx.gas().used();
+  return outcome;
+}
+
+QueryOutcome run_query_call(const vm::WorldSnapshot& snapshot, const QueryConfig& config,
+                            const chain::Transaction& tx) {
+  const vm::World& world = frozen_world(snapshot);
+  vm::Contract* contract = world.contracts().find(tx.contract);
+  if (contract == nullptr) {
+    // Same shape a mined transaction's BadCall would take: the call
+    // cannot execute, nothing happened.
+    return QueryOutcome{QueryStatus::kReverted, 0};
+  }
+
+  const std::uint64_t cap = std::min(tx.gas_limit, config.gas_cap);
+  vm::ExecContext ctx =
+      vm::ExecContext::read_only(world, vm::GasMeter(cap, config.nanos_per_gas));
+
+  QueryOutcome outcome;
+  try {
+    switch (vm::run_call(*contract, tx.to_call(), tx.to_msg(), ctx)) {
+      case vm::TxStatus::kSuccess:
+        outcome.status = QueryStatus::kOk;
+        break;
+      case vm::TxStatus::kReverted:
+        outcome.status = QueryStatus::kReverted;
+        break;
+      case vm::TxStatus::kOutOfGas:
+        outcome.status = QueryStatus::kOutOfGas;
+        break;
+    }
+  } catch (const vm::ReadOnlyViolation&) {
+    // run_call only maps OutOfGas/RevertError; the read-only rejection
+    // unwinds through it (its MsgFrame keeps the stack balanced).
+    outcome.status = QueryStatus::kMutationRejected;
+  }
+  outcome.gas_used = ctx.gas().used();
+  return outcome;
+}
+
+}  // namespace concord::core

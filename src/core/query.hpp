@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "chain/transaction.hpp"
+#include "vm/world.hpp"
+
+namespace concord::core {
+
+/// Tuning for the MVCC read path (Node's query_* endpoints and anything
+/// else serving frozen snapshots). One config serves every query a node
+/// answers, so the cap is the node operator's DoS bound, not the
+/// client's gas offer.
+struct QueryConfig {
+  /// Hard per-query gas budget. Call-shaped queries additionally respect
+  /// the transaction's own gas_limit (the effective cap is the minimum).
+  std::uint64_t gas_cap = 2'000'000;
+  /// Wall-clock weight of query gas (see vm::GasMeter). 0 — the default —
+  /// meters without burning: queries are bounded by the cap but cost
+  /// only what their reads cost, which is the point of serving them off
+  /// frozen COW snapshots. Benches raise this to model interpreters.
+  double nanos_per_gas = 0.0;
+};
+
+/// Deterministic outcome class of one query.
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kReverted,  ///< Contract raised a revert (or the target doesn't exist).
+  kOutOfGas,  ///< The per-query gas cap ran out.
+  /// The query tried to mutate state (a mutating selector through the
+  /// read path, or a view path that writes). Hard-rejected before any
+  /// physical write — the snapshot is untouched.
+  kMutationRejected,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kReverted: return "reverted";
+    case QueryStatus::kOutOfGas: return "out-of-gas";
+    case QueryStatus::kMutationRejected: return "mutation-rejected";
+  }
+  return "?";
+}
+
+struct QueryOutcome {
+  QueryStatus status = QueryStatus::kOk;
+  std::uint64_t gas_used = 0;
+};
+
+/// A caller-shaped read: gets the frozen world and a read-only
+/// ExecContext, reads values out through captures. Throwing RevertError
+/// maps to kReverted; mutating anything maps to kMutationRejected.
+using QueryFn = std::function<void(const vm::World&, vm::ExecContext&)>;
+
+/// Runs `fn` read-only against the frozen world behind `snapshot` under
+/// `config`'s gas cap. The context rejects every state mutation and lock
+/// declaration before data is touched (vm::ExecMode::kReadOnly), so any
+/// number of queries may run concurrently against one snapshot — and
+/// concurrently with the miner, which only ever writes its own detached
+/// COW pages. Throws std::logic_error when the snapshot handle is
+/// invalid; everything a *query* can do wrong comes back as a status.
+QueryOutcome run_query(const vm::WorldSnapshot& snapshot, const QueryConfig& config,
+                       const QueryFn& fn);
+
+/// Call-shaped flavor: executes `tx`'s call on its target contract in
+/// the frozen world — "balance of X as of block N" as a Token::balanceOf
+/// call instead of a hand-rolled read. The transaction is never part of
+/// any block; its gas_limit only tightens the cap.
+QueryOutcome run_query_call(const vm::WorldSnapshot& snapshot, const QueryConfig& config,
+                            const chain::Transaction& tx);
+
+}  // namespace concord::core

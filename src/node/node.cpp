@@ -6,6 +6,7 @@
 #include <exception>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -52,7 +53,8 @@ Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
       mempool_(config_.batch, config_.mempool_capacity, config_.mine_shards),
       miner_(*miner_world_, config_.miner),
       validator_(*validator_world_, config_.validator),
-      chain_(genesis_.state_root()) {
+      chain_(genesis_.state_root()),
+      snapshots_(std::max<std::size_t>(config_.retain_snapshots, 1)) {
   // Lane miners for shards 1..N-1; lane 0 is the primary miner_. Each is
   // born on a throwaway genesis fork and re-pointed at a fresh fork of
   // the block boundary every block it mines.
@@ -60,6 +62,24 @@ Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
     shard_worlds_.push_back(genesis_.materialize());
     shard_miners_.push_back(std::make_unique<core::Miner>(*shard_worlds_.back(), config_.miner));
   }
+
+  // Per-shard arena affinity: concurrent lane miners each recycle pages
+  // within their own slice of the arena's stripes instead of meeting on
+  // shared free lists. Single-miner nodes keep the default round-robin —
+  // the pre-shard path stays byte-for-byte untouched.
+  if (config_.mine_shards > 1) {
+    const unsigned width =
+        std::max(1u, vm::PageArena::kStripeCount / config_.mine_shards);
+    miner_.set_arena_affinity(0, width);
+    for (std::uint32_t s = 1; s < config_.mine_shards; ++s) {
+      shard_miners_[s - 1]->set_arena_affinity((s * width) % vm::PageArena::kStripeCount,
+                                               width);
+    }
+  }
+
+  // The read path serves genesis ("as of block 0") from the moment the
+  // node exists; its root is already computed (the chain header above).
+  if (read_path_enabled()) snapshots_.publish(0, genesis_);
 }
 
 void Node::run() {
@@ -76,6 +96,7 @@ void Node::run() {
     // Failure diagnostics still carry timing: a run that died after two
     // hours should not report wall_ms == 0.
     stats_.wall_ms = ms_since(start);
+    fold_read_stats();
     // Producers must never hang on a node that has stopped consuming —
     // not even when a stage failed hard (e.g. the miner's livelock guard).
     mempool_.close();
@@ -83,6 +104,15 @@ void Node::run() {
   }
   mempool_.close();
   stats_.wall_ms = ms_since(start);
+  fold_read_stats();
+}
+
+void Node::fold_read_stats() {
+  stats_.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats_.query_gas_used = query_gas_used_.load(std::memory_order_relaxed);
+  stats_.pins_expired = pins_expired_.load(std::memory_order_relaxed);
+  // Writer-thread fields, safe here: both stages have joined by now.
+  stats_.snapshots_retained_high_water = snapshots_.retained_high_water();
 }
 
 void Node::run_sequential() {
@@ -140,6 +170,9 @@ void Node::run_sequential() {
     miner_world_ = boundary.materialize();
     miner_.resume_from(*miner_world_);
     parent = chain_.tip();
+    // See the pipelined flavor: published boundaries are all accepted,
+    // so this is invariant enforcement, not cleanup.
+    if (read_path_enabled()) snapshots_.rewind_to(parent.header.number);
     ++stats_.recoveries;
     stats_.recovery_ms += ms_since(t_recover);
   }
@@ -210,6 +243,11 @@ void Node::run_pipelined() {
         v_dropped_txs += drained.transactions;
         validator_world_ = entry->pre_state.materialize();
         validator_.resume_from(*validator_world_);
+        // Invariant enforcement more than necessity: only ACCEPTED
+        // boundaries are ever published, so the ring's head cannot
+        // exceed the surviving tip — but a rewind here keeps the read
+        // path honest by construction even if that ever changes.
+        if (read_path_enabled()) snapshots_.rewind_to(chain_.tip().header.number);
         ++v_recoveries;  // One re-org completed (the miner's half is lazy).
         v_recovery_ms += ms_since(t_recover);
       }
@@ -443,8 +481,81 @@ bool Node::validate_and_append(chain::Block block, double& validate_ms) {
   }
   stats_.blocks += 1;
   stats_.transactions += block.transactions.size();
+  const std::uint64_t number = block.header.number;
+  const util::Hash256 root = block.header.state_root;
   chain_.append(std::move(block));
+  if (read_path_enabled()) {
+    // Publish the accepted boundary to readers. validate_parallel left
+    // validator_world_ at exactly the post-block state and cross-checked
+    // `root` against it, so the snapshot is verified state and seeding
+    // the root cache is sound (readers never pay the O(state) hash). The
+    // fork is O(contracts), on the appending thread — the same thread
+    // for every publish and rewind, which is the ring's single-writer
+    // contract.
+    snapshots_.publish(number, vm::WorldSnapshot(*validator_world_, root));
+  }
   return true;
+}
+
+void Node::require_read_path() const {
+  if (!read_path_enabled()) {
+    throw std::logic_error("node read path disabled (retain_snapshots == 0)");
+  }
+}
+
+Node::Pin Node::pin_latest() const {
+  require_read_path();
+  Pin pin = snapshots_.latest();
+  if (pin == nullptr) {
+    pins_expired_.fetch_add(1, std::memory_order_relaxed);
+    throw SnapshotEvicted("latest boundary unavailable (persistent re-org churn)");
+  }
+  return pin;
+}
+
+Node::Pin Node::pin_at(std::uint64_t block) const {
+  require_read_path();
+  Pin pin = snapshots_.at(block);
+  if (pin != nullptr) return pin;
+  pins_expired_.fetch_add(1, std::memory_order_relaxed);
+  // Explain WHY the pin failed — the distinction matters to clients
+  // (retry later vs. gone forever vs. never existed on this chain).
+  std::string reason = "snapshot evicted: block " + std::to_string(block);
+  const std::optional<std::uint64_t> head = snapshots_.head_number();
+  if (!head.has_value()) {
+    reason += " (nothing published yet)";
+  } else if (block > *head) {
+    reason += " is beyond the newest accepted boundary " + std::to_string(*head);
+  } else {
+    reason += " left the retention window (head " + std::to_string(*head) + ", retain " +
+              std::to_string(snapshots_.retain()) + ") or was re-orged away";
+  }
+  throw SnapshotEvicted(reason);
+}
+
+core::QueryOutcome Node::query_pinned(const Pin& pin, const core::QueryFn& fn) const {
+  require_read_path();
+  if (pin == nullptr) throw std::logic_error("query_pinned on a null pin");
+  const core::QueryOutcome outcome = core::run_query(pin->snapshot, config_.query, fn);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  query_gas_used_.fetch_add(outcome.gas_used, std::memory_order_relaxed);
+  return outcome;
+}
+
+core::QueryOutcome Node::query_latest(const core::QueryFn& fn) const {
+  return query_pinned(pin_latest(), fn);
+}
+
+core::QueryOutcome Node::query_at(std::uint64_t block, const core::QueryFn& fn) const {
+  return query_pinned(pin_at(block), fn);
+}
+
+core::QueryOutcome Node::query_call(const chain::Transaction& tx) const {
+  const Pin pin = pin_latest();
+  const core::QueryOutcome outcome = core::run_query_call(pin->snapshot, config_.query, tx);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  query_gas_used_.fetch_add(outcome.gas_used, std::memory_order_relaxed);
+  return outcome;
 }
 
 }  // namespace concord::node

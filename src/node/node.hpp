@@ -9,10 +9,12 @@
 
 #include "chain/blockchain.hpp"
 #include "core/miner.hpp"
+#include "core/query.hpp"
 #include "core/validator.hpp"
 #include "detect/detect.hpp"
 #include "node/handoff_ring.hpp"
 #include "node/mempool.hpp"
+#include "node/snapshot_ring.hpp"
 #include "vm/world.hpp"
 
 namespace concord::node {
@@ -80,6 +82,18 @@ struct NodeConfig {
   /// ring fill at a rejection is deterministic instead of a race between
   /// the stages). Not part of the consensus surface.
   std::function<void(const chain::Block&)> pre_validate_hook;
+
+  /// MVCC read path: how many ACCEPTED block boundaries stay published
+  /// for "as of block N" queries (the SnapshotRing window — see
+  /// Node::query_at). 0 disables read serving entirely: no ring, no
+  /// per-boundary publish fork, zero overhead on the write path. The
+  /// published boundaries are distinct from the recovery snapshots the
+  /// pipeline takes (those freeze *pre*-validation state on the miner
+  /// thread; these freeze verified state at the append point).
+  std::size_t retain_snapshots = 8;
+
+  /// Gas policy applied to every query this node serves.
+  core::QueryConfig query;
 };
 
 /// Per-stage counters for one run() — the sustained-traffic numbers the
@@ -149,6 +163,18 @@ struct NodeStats {
   /// MinerConfig::detect). The first non-clean block's full report is in
   /// Node::first_detect_report().
   std::uint64_t detect_violations = 0;
+
+  // MVCC read path (all zero when NodeConfig::retain_snapshots == 0).
+  // Snapshotted when run() returns; queries served after that keep
+  // counting in the node but are not re-folded here.
+  std::uint64_t queries_served = 0;   ///< Queries answered (any status).
+  std::uint64_t query_gas_used = 0;   ///< Gas metered across those queries.
+  /// pin_at()/pin_latest() requests that could not be served (beyond
+  /// head, evicted by the window, or re-orged away) — each threw
+  /// SnapshotEvicted rather than returning torn state.
+  std::uint64_t pins_expired = 0;
+  /// Most boundaries simultaneously resident in the ring (≤ retain).
+  std::size_t snapshots_retained_high_water = 0;
 
   [[nodiscard]] double blocks_per_sec() const noexcept {
     return wall_ms > 0 ? static_cast<double>(blocks) * 1e3 / wall_ms : 0.0;
@@ -240,6 +266,49 @@ class Node {
     return mining_done_.load(std::memory_order_acquire);
   }
 
+  // ── MVCC read path ────────────────────────────────────────────────
+  // Thread-safe against the running pipeline: any number of reader
+  // threads may pin and query while run() mines and appends. All query
+  // entry points throw std::logic_error when the read path is disabled
+  // (retain_snapshots == 0).
+
+  /// A pinned boundary: holding it keeps the frozen state alive past
+  /// ring eviction, so a long scan at block N stays byte-stable no
+  /// matter how far the chain advances. Drop the pointer to unpin.
+  using Pin = std::shared_ptr<const PublishedBoundary>;
+
+  [[nodiscard]] bool read_path_enabled() const noexcept {
+    return config_.retain_snapshots > 0;
+  }
+
+  /// The retention ring itself (tests/benches; queries normally go
+  /// through pin_*/query_*).
+  [[nodiscard]] const SnapshotRing& snapshots() const noexcept { return snapshots_; }
+
+  /// Pins the newest accepted boundary. At least genesis is always
+  /// published, so after construction this only throws SnapshotEvicted
+  /// under persistent re-org churn (bounded-retry miss).
+  [[nodiscard]] Pin pin_latest() const;
+
+  /// Pins the boundary of accepted block `block`. Throws SnapshotEvicted
+  /// — with a reason distinguishing beyond-head / evicted-by-window /
+  /// re-orged-away — when it cannot be served; never returns torn state.
+  [[nodiscard]] Pin pin_at(std::uint64_t block) const;
+
+  /// Runs a read-only query against a held pin (see core::run_query).
+  core::QueryOutcome query_pinned(const Pin& pin, const core::QueryFn& fn) const;
+
+  /// query_pinned(pin_latest(), fn): one-shot read at the newest boundary.
+  core::QueryOutcome query_latest(const core::QueryFn& fn) const;
+
+  /// query_pinned(pin_at(block), fn): one-shot "as of block N" read.
+  core::QueryOutcome query_at(std::uint64_t block, const core::QueryFn& fn) const;
+
+  /// Call-shaped query at the newest boundary (core::run_query_call):
+  /// `tx` executes read-only against the frozen state, never enters any
+  /// block.
+  core::QueryOutcome query_call(const chain::Transaction& tx) const;
+
  private:
   void run_pipelined();
   void run_sequential();
@@ -272,6 +341,13 @@ class Node {
   /// being able to recover from a rejection).
   [[nodiscard]] bool recovery_enabled() const noexcept { return !config_.halt_on_rejection; }
 
+  /// Throws std::logic_error when retain_snapshots == 0.
+  void require_read_path() const;
+
+  /// Copies the read-path atomics into stats_ (run() epilogue, both the
+  /// normal and failure exits).
+  void fold_read_stats();
+
   NodeConfig config_;
   std::unique_ptr<vm::World> miner_world_;
   vm::WorldSnapshot genesis_;  ///< Frozen before the miner's world moves.
@@ -286,6 +362,15 @@ class Node {
   /// engine holds a reference until its next resume_from).
   std::vector<std::unique_ptr<core::Miner>> shard_miners_;
   std::vector<std::unique_ptr<vm::World>> shard_worlds_;
+  /// The MVCC retention window (sized 1 but never published into when
+  /// the read path is disabled). Written only by whichever thread runs
+  /// validate_and_append; read by any number of query threads.
+  SnapshotRing snapshots_;
+  // Read-path counters, bumped from reader threads (hence atomic and
+  // mutable — queries are logically const).
+  mutable std::atomic<std::uint64_t> queries_served_{0};
+  mutable std::atomic<std::uint64_t> query_gas_used_{0};
+  mutable std::atomic<std::uint64_t> pins_expired_{0};
   NodeStats stats_;
   std::optional<core::ValidationReport> failure_;
   std::optional<detect::DetectReport> first_detect_report_;

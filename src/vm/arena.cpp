@@ -28,16 +28,27 @@ constexpr std::size_t run_preferred_bytes(std::size_t block) noexcept {
   return std::max<std::size_t>(block * 8, 16 * 1024);
 }
 
+/// Sentinel for "no explicit stripe bound"; see bind_thread_stripe.
+constexpr unsigned kNoBoundStripe = ~0u;
+thread_local unsigned bound_stripe = kNoBoundStripe;
+
 /// Round-robins threads onto stripes. A thread keeps its stripe for life
 /// (and across arenas): the point is that concurrent miner threads land
-/// on different stripes, not that the mapping is balanced per arena.
+/// on different stripes, not that the mapping is balanced per arena. An
+/// explicit bind_thread_stripe() — the per-shard affinity path — takes
+/// precedence over the round-robin.
 unsigned stripe_index() noexcept {
+  if (bound_stripe != kNoBoundStripe) return bound_stripe;
   static std::atomic<unsigned> next{0};
   static thread_local const unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
   return idx % PageArena::kStripeCount;
 }
 
 }  // namespace
+
+void PageArena::bind_thread_stripe(unsigned stripe) noexcept {
+  bound_stripe = stripe % kStripeCount;
+}
 
 PageArena::~PageArena() {
   std::byte* chunk = chunk_head_;
@@ -111,6 +122,7 @@ void* PageArena::allocate(std::size_t bytes) {
     for (unsigned probe = 1; probe < kStripeCount && result == nullptr; ++probe) {
       Stripe& victim = cls.stripes[(stripe_index() + probe) % kStripeCount];
       if (victim.free_list.load(std::memory_order_relaxed) == nullptr) continue;
+      ++mine.steal_attempts;
       if (!victim.mu.try_lock()) continue;
       FreeBlock* stolen = victim.free_list.exchange(nullptr, std::memory_order_relaxed);
       victim.mu.unlock();
@@ -118,6 +130,7 @@ void* PageArena::allocate(std::size_t bytes) {
         result = stolen;
         mine.free_list.store(stolen->next, std::memory_order_relaxed);
         ++mine.recycles;
+        ++mine.steal_hits;
       }
     }
     if (result == nullptr) {
@@ -171,6 +184,8 @@ ArenaStats PageArena::stats() const noexcept {
       std::scoped_lock lk(stripe.mu);
       s.fresh_allocs += stripe.fresh;
       s.recycle_hits += stripe.recycles;
+      s.steal_attempts += stripe.steal_attempts;
+      s.steal_hits += stripe.steal_hits;
       live_blocks += stripe.live_blocks;
       live_bytes += stripe.live_bytes;
       live_high += stripe.live_high;

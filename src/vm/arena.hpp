@@ -23,6 +23,13 @@ struct ArenaStats {
   std::uint64_t fresh_allocs = 0;   ///< Served by carving fresh slab space.
   std::uint64_t recycle_hits = 0;   ///< Served from a size-class free list.
   std::uint64_t oversize_allocs = 0;  ///< Past the largest class; plain heap.
+  /// Cross-stripe contention: how often a dry stripe probed a sibling's
+  /// free list (a try_lock each) and how often a probe adopted one. High
+  /// attempts with low hits means stripes are fighting over the same
+  /// recycled pages — the signal the per-shard stripe affinity exists to
+  /// drive down.
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_hits = 0;
 };
 
 /// A size-class slab allocator for the COW state layer's page traffic.
@@ -110,6 +117,16 @@ class PageArena {
   /// `bytes` must be the size passed to the matching allocate().
   void deallocate(void* p, std::size_t bytes) noexcept;
 
+  /// Pins the calling thread onto stripe `stripe % kStripeCount` (for
+  /// every arena — the override is thread-local, not per-instance),
+  /// replacing the default lifetime round-robin. The per-shard affinity
+  /// hook: a lane miner binds its workers to the lane's stripe slice so
+  /// lane-local page churn recycles within the lane instead of meeting
+  /// other lanes on shared free lists (and falling back to try_lock
+  /// steals). Persists until the thread rebinds; unbound threads keep
+  /// the round-robin mapping.
+  static void bind_thread_stripe(unsigned stripe) noexcept;
+
   /// A consistent-enough snapshot for diagnostics (counters are atomics;
   /// cross-field skew is harmless).
   [[nodiscard]] ArenaStats stats() const noexcept;
@@ -133,6 +150,8 @@ class PageArena {
     std::byte* bump_end = nullptr;
     std::uint64_t fresh = 0;
     std::uint64_t recycles = 0;
+    std::uint64_t steal_attempts = 0;  ///< Sibling free lists this stripe probed.
+    std::uint64_t steal_hits = 0;      ///< Probes that adopted a sibling's list.
     std::int64_t live_blocks = 0;  ///< Cross-stripe frees can dip negative.
     std::int64_t live_bytes = 0;
     std::int64_t live_high = 0;    ///< Per-stripe peak; stats() sums them.

@@ -33,4 +33,19 @@ class BadCall : public RevertError {
   explicit BadCall(const std::string& reason) : RevertError(reason) {}
 };
 
+/// A read-only query context (ExecMode::kReadOnly, the MVCC read path)
+/// caught an attempted state mutation or a non-READ abstract-lock
+/// declaration — a client queried a mutating selector, or a supposedly
+/// view-only contract path writes. Thrown BEFORE the physical write
+/// happens (every boosted collection declares through on_storage_op
+/// first), so the frozen snapshot behind the query is untouched. A
+/// logic_error rather than a RevertError on purpose: mutating through
+/// the read path is API misuse, not an on-chain outcome — it never
+/// enters a block, and the query layer maps it to its own status
+/// instead of recording a revert.
+class ReadOnlyViolation : public std::logic_error {
+ public:
+  explicit ReadOnlyViolation(const std::string& reason) : std::logic_error(reason) {}
+};
+
 }  // namespace concord::vm

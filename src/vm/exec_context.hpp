@@ -10,6 +10,7 @@
 #include "stm/runtime.hpp"
 #include "stm/speculative_action.hpp"
 #include "stm/undo_log.hpp"
+#include "vm/errors.hpp"
 #include "vm/gas.hpp"
 #include "vm/msg.hpp"
 #include "vm/trace.hpp"
@@ -50,6 +51,13 @@ enum class ExecMode : std::uint8_t {
   /// but each op appends to a thread-local TraceRecorder for the
   /// profile-equivalence check.
   kReplay,
+  /// Read-only query serving (the MVCC read path): storage ops declaring
+  /// READ are admitted without locks or traces — the world behind the
+  /// context is a frozen snapshot nobody writes, so there is nothing to
+  /// serialize against. Any non-READ declaration (and any logged
+  /// inverse, as a backstop) throws ReadOnlyViolation before data is
+  /// touched.
+  kReadOnly,
 };
 
 /// Per-transaction execution environment handed to contract code.
@@ -78,6 +86,18 @@ class ExecContext {
     ExecContext ctx(ExecMode::kReplay, world, meter);
     ctx.trace_ = &trace;
     return ctx;
+  }
+
+  /// Read-only query execution against a frozen snapshot's world (the
+  /// MVCC read path; see core::run_query). The const_cast is sound: the
+  /// contract/collection code paths all funnel mutations through
+  /// on_storage_op (with a non-READ mode) before the physical write and
+  /// through log_inverse right after it, and both hard-reject in this
+  /// mode — the world is never written through a read-only context, it
+  /// just travels through the mutable-reference plumbing the contracts
+  /// share with every other mode.
+  static ExecContext read_only(const World& world, GasMeter meter) {
+    return ExecContext(ExecMode::kReadOnly, const_cast<World&>(world), meter);
   }
 
   ExecContext(const ExecContext&) = delete;
@@ -112,6 +132,18 @@ class ExecContext {
   /// attached (ConcordSan), the declaration is also logged so the lockset
   /// checker can verify later data accesses against it.
   void on_storage_op(const stm::LockId& id, stm::LockMode mode) {
+    if (mode_ == ExecMode::kReadOnly) {
+      // Judged on the DECLARED mode, before the ablation rewrite below:
+      // exclusive_locks_only upgrades reads to writes for lock
+      // acquisition, but a query that only reads must stay admissible
+      // under it — there are no locks here to pick a mode for.
+      if (mode != stm::LockMode::kRead) {
+        throw ReadOnlyViolation(std::string("read-only query declared a ") +
+                                std::string(stm::to_string(mode)) +
+                                " storage op (state mutations are rejected on the read path)");
+      }
+      return;  // Nothing to acquire, trace or record: the world is frozen.
+    }
     if (exclusive_locks_only_) mode = stm::LockMode::kWrite;
     if (declare_fault_ != DeclareFault::kNone) {
       const DeclareFault fault = declare_fault_;
@@ -128,6 +160,7 @@ class ExecContext {
         trace_->record(id, mode);
         break;
       case ExecMode::kSerial:
+      case ExecMode::kReadOnly:  // Unreachable (early return above).
         break;
     }
   }
@@ -156,6 +189,13 @@ class ExecContext {
   /// speculative action's log or, in serial/replay, to the local log that
   /// backs revert rollback.
   void log_inverse(stm::UndoLog::Inverse inverse) {
+    if (mode_ == ExecMode::kReadOnly) {
+      // Backstop behind the on_storage_op gate: an inverse means a
+      // physical write just happened, which only a collection that
+      // skipped its declaration could reach in this mode.
+      throw ReadOnlyViolation(
+          "read-only query logged an undo inverse (undeclared state mutation)");
+    }
     if (mode_ == ExecMode::kSpeculative) {
       action_->log_inverse(std::move(inverse));
     } else {

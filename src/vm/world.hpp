@@ -2,6 +2,8 @@
 
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "util/sha256.hpp"
 #include "vm/arena.hpp"
@@ -142,8 +144,13 @@ class WorldSnapshot {
   /// live boundary per in-flight block.
   [[nodiscard]] long use_count() const noexcept { return frozen_.use_count(); }
 
-  /// The frozen state, for read-only serving.
-  [[nodiscard]] const World& world() const noexcept { return *frozen_->world; }
+  /// The frozen state, for read-only serving. Throws std::logic_error on
+  /// an empty handle — dereferencing a snapshot that never froze a world
+  /// is a caller bug and must fail loudly, not as UB.
+  [[nodiscard]] const World& world() const {
+    require_valid("world()");
+    return *frozen_->world;
+  }
 
   /// The state root at the moment the snapshot was taken (zero hash for
   /// an empty handle). Computed on first call and cached in the shared
@@ -159,10 +166,22 @@ class WorldSnapshot {
   /// (or a re-org recovery path) gets a private copy to execute against.
   /// Concurrent materialize() calls on handles sharing one frozen world
   /// are safe: forking only reads the immutable shared pages (and bumps
-  /// their refcounts), it never mutates them.
-  [[nodiscard]] std::unique_ptr<World> materialize() const { return frozen_->world->fork(); }
+  /// their refcounts), it never mutates them. Throws std::logic_error on
+  /// an empty handle (see world()).
+  [[nodiscard]] std::unique_ptr<World> materialize() const {
+    require_valid("materialize()");
+    return frozen_->world->fork();
+  }
 
  private:
+  void require_valid(const char* op) const {
+    if (frozen_ == nullptr) {
+      throw std::logic_error(std::string("WorldSnapshot::") + op +
+                             " on an invalid handle (default-constructed or moved-from); "
+                             "check valid() first");
+    }
+  }
+
   struct Frozen {
     explicit Frozen(std::unique_ptr<World> w) : world(std::move(w)) {}
     std::unique_ptr<const World> world;

@@ -218,5 +218,76 @@ TEST(ArenaConcurrency, ThreeThreadsForkMaterializeDetachOnOneArena) {
   EXPECT_GT(genesis.arena_stats().recycle_hits, 0u);
 }
 
+// ---------------------------------------- Stripe affinity + stealing ---
+
+/// Runs `body` on a fresh thread pinned to `stripe` and joins — the
+/// explicit bind is thread-local and sticky, so tests never bind the
+/// gtest main thread.
+template <typename Fn>
+void on_bound_thread(unsigned stripe, Fn body) {
+  std::thread th([stripe, body = std::move(body)] {
+    PageArena::bind_thread_stripe(stripe);
+    body();
+  });
+  th.join();
+}
+
+TEST(ArenaAffinity, BoundThreadsShareAStripeWithoutStealing) {
+  PageArena arena;
+  void* freed = nullptr;
+  // Thread A, stripe 2: allocate a block and free it into stripe 2's list.
+  on_bound_thread(2, [&] {
+    freed = arena.allocate(128);
+    arena.deallocate(freed, 128);
+  });
+  // Thread B, same stripe: the free block is on its OWN list — recycled
+  // directly, no sibling probing. This is the per-shard affinity win.
+  on_bound_thread(2, [&] {
+    void* block = arena.allocate(128);
+    EXPECT_EQ(block, freed);
+    arena.deallocate(block, 128);
+  });
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.recycle_hits, 1u);  // B recycled A's block (A's alloc was fresh).
+  EXPECT_EQ(stats.steal_attempts, 0u);
+  EXPECT_EQ(stats.steal_hits, 0u);
+}
+
+TEST(ArenaAffinity, CrossStripeFreeIsAdoptedByACountedSteal) {
+  PageArena arena;
+  // Stripe 0 ends up holding the only free block of the class…
+  on_bound_thread(0, [&] {
+    void* block = arena.allocate(128);
+    arena.deallocate(block, 128);
+  });
+  // …and stripe 5's first allocation finds its own list and bump run
+  // empty, probes the siblings, and adopts stripe 0's list — exactly one
+  // counted steal instead of carving a fresh run.
+  on_bound_thread(5, [&] {
+    void* block = arena.allocate(128);
+    arena.deallocate(block, 128);
+  });
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.steal_attempts, 1u);
+  EXPECT_EQ(stats.steal_hits, 1u);
+  EXPECT_EQ(stats.recycle_hits, 1u);  // The stolen block satisfied the alloc.
+}
+
+TEST(ArenaAffinity, BindWrapsModuloStripeCount) {
+  PageArena arena;
+  void* freed = nullptr;
+  on_bound_thread(3, [&] {
+    freed = arena.allocate(64);
+    arena.deallocate(freed, 64);
+  });
+  // kStripeCount + 3 wraps onto stripe 3: same list, direct recycle.
+  on_bound_thread(PageArena::kStripeCount + 3, [&] {
+    void* block = arena.allocate(64);
+    EXPECT_EQ(block, freed);
+    arena.deallocate(block, 64);
+  });
+  EXPECT_EQ(arena.stats().steal_attempts, 0u);
+}
+
 }  // namespace
 }  // namespace concord::vm
