@@ -1,0 +1,234 @@
+// Replication throughput over the network layer: a leader node mines a
+// stream and fans every accepted block out to one follower over an
+// in-process pipe transport; the follower validates each block against
+// its published schedule and appends. Reports replicated blocks/s at
+// the follower, announce→accept propagation latency (p50/p99, same
+// process clock on both ends), wire volume, and the leader's tx/s delta
+// versus an identical run with no follower attached — the cost of
+// replication backpressure on the write path. The correctness gate:
+// the follower's chain must match the leader's at every height, or the
+// bench exits 1 (a throughput number for a diverging replica would be
+// meaningless).
+//
+// Usage: bench_net_throughput [--quick] [--threads=N] [--json=FILE]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness.hpp"
+#include "net/peer.hpp"
+#include "net/replication.hpp"
+#include "net/transport.hpp"
+#include "node/node.hpp"
+#include "util/cycle_burner.hpp"
+
+namespace {
+
+using namespace concord;
+using Clock = std::chrono::steady_clock;
+
+struct ReplicationResult {
+  node::NodeStats leader;
+  node::NodeStats follower;
+  net::PeerStats wire;                 ///< Follower-side session counters.
+  std::vector<double> propagation_us;  ///< Announce→accept, per block.
+  std::uint64_t height = 0;
+  bool chains_match = false;
+
+  [[nodiscard]] double replicated_blocks_per_sec() const {
+    return follower.wall_ms > 0
+               ? static_cast<double>(follower.blocks) * 1e3 / follower.wall_ms
+               : 0.0;
+  }
+};
+
+double percentile_us(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+node::NodeConfig leader_config(const workload::StreamSpec& spec,
+                               const bench::RunConfig& config) {
+  node::NodeConfig node_config;
+  node_config.miner.threads = config.threads;
+  node_config.miner.nanos_per_gas = config.nanos_per_gas;
+  node_config.miner.exclusive_locks_only = config.exclusive_locks_only;
+  node_config.validator.threads = config.threads;
+  node_config.validator.nanos_per_gas = config.nanos_per_gas;
+  node_config.validator.exclusive_locks_only = config.exclusive_locks_only;
+  node_config.batch.target_txs = spec.txs_per_block;
+  node_config.mempool_capacity = 4 * spec.txs_per_block;
+  node_config.pipelined = true;
+  node_config.pipeline_depth = 2;
+  return node_config;
+}
+
+/// The no-follower reference: same stream, same pipeline, no hook.
+node::NodeStats run_baseline(const workload::StreamSpec& spec, const bench::RunConfig& config) {
+  workload::Fixture fixture = workload::make_stream_fixture(spec);
+  std::vector<chain::Transaction> stream = std::move(fixture.transactions);
+  node::Node node(std::move(fixture.world), leader_config(spec, config));
+  std::jthread producer([&node, &stream] {
+    (void)node.mempool().submit_many(std::move(stream));
+    node.mempool().close();
+  });
+  node.run();
+  return node.stats();
+}
+
+ReplicationResult run_replicated(const workload::StreamSpec& spec,
+                                 const bench::RunConfig& config) {
+  workload::Fixture leader_fixture = workload::make_stream_fixture(spec);
+  std::vector<chain::Transaction> stream = std::move(leader_fixture.transactions);
+  workload::Fixture follower_fixture = workload::make_stream_fixture(spec);
+
+  auto [follower_end, leader_end] = net::PipeTransport::make_pair();
+  net::Peer follower_peer(std::move(follower_end), net::PeerConfig{.name = "follower"});
+  auto peers = std::make_shared<net::PeerSet>();
+  peers->add(std::make_shared<net::Peer>(std::move(leader_end),
+                                         net::PeerConfig{.name = "leader"}));
+  net::Leader leader(peers, leader_fixture.world->state_root());
+
+  // Propagation instrumentation: both hooks run in this process, so one
+  // steady clock covers announce (leader validator thread) and accept
+  // (follower session thread).
+  std::mutex times_mu;
+  std::map<std::uint64_t, Clock::time_point> announced_at;
+  std::map<std::uint64_t, Clock::time_point> accepted_at;
+
+  node::NodeConfig leader_cfg = leader_config(spec, config);
+  leader_cfg.on_block_accepted = [&leader, &times_mu, &announced_at](const chain::Block& block) {
+    {
+      std::scoped_lock lk(times_mu);
+      announced_at[block.header.number] = Clock::now();
+    }
+    leader.announce(block);
+  };
+  node::Node leader_node(std::move(leader_fixture.world), leader_cfg);
+
+  node::NodeConfig follower_cfg;
+  follower_cfg.miner.nanos_per_gas = config.nanos_per_gas;
+  follower_cfg.miner.exclusive_locks_only = config.exclusive_locks_only;
+  follower_cfg.validator.threads = config.threads;
+  follower_cfg.validator.nanos_per_gas = config.nanos_per_gas;
+  follower_cfg.validator.exclusive_locks_only = config.exclusive_locks_only;
+  follower_cfg.on_block_accepted = [&times_mu, &accepted_at](const chain::Block& block) {
+    std::scoped_lock lk(times_mu);
+    accepted_at[block.header.number] = Clock::now();
+  };
+  node::Node follower_node(std::move(follower_fixture.world), follower_cfg);
+
+  leader.start();
+  std::jthread follower_thread(
+      [&follower_node, &follower_peer] { follower_node.run_follower(follower_peer); });
+  std::jthread producer([&leader_node, &stream] {
+    (void)leader_node.mempool().submit_many(std::move(stream));
+    leader_node.mempool().close();
+  });
+  leader_node.run();
+
+  const std::uint64_t height = leader_node.chain().height();
+  const auto deadline = Clock::now() + std::chrono::seconds(60);
+  while (Clock::now() < deadline) {
+    const auto progress = leader.progress();
+    if (!progress.empty() && progress[0].acked >= height) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  leader.stop();
+  follower_thread.join();
+
+  ReplicationResult result;
+  result.leader = leader_node.stats();
+  result.follower = follower_node.stats();
+  result.wire = follower_peer.stats();
+  result.height = height;
+  result.chains_match = follower_node.chain().height() == height;
+  for (std::uint64_t n = 1; result.chains_match && n <= height; ++n) {
+    result.chains_match = follower_node.chain().at(n).hash() == leader_node.chain().at(n).hash();
+  }
+  {
+    std::scoped_lock lk(times_mu);
+    for (const auto& [number, t_accept] : accepted_at) {
+      const auto it = announced_at.find(number);
+      if (it == announced_at.end()) continue;
+      result.propagation_us.push_back(
+          std::chrono::duration<double, std::micro>(t_accept - it->second).count());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::RunConfig config = bench::RunConfig::from_args(argc, argv);
+
+  workload::StreamSpec spec;
+  spec.kind = workload::BenchmarkKind::kMixed;
+  spec.blocks = config.quick ? 8 : 16;
+  spec.txs_per_block = config.quick ? 50 : 120;
+  spec.conflict_percent = 15;
+
+  std::printf("net replication: %zu blocks x %zu txs (Mixed), 1 follower over pipe, "
+              "%u threads/stage\n",
+              spec.blocks, spec.txs_per_block, config.threads);
+  std::printf("# %-18s %8s %10s %10s %10s %12s %12s %8s\n", "benchmark", "blocks", "repl_bps",
+              "p50_us", "p99_us", "base_tx/s", "leader_tx/s", "delta%");
+
+  // One warmup settles allocator and page cache; then one measured pass
+  // per mode (each pass already spans the whole stream).
+  (void)run_baseline(spec, config);
+  const node::NodeStats baseline = run_baseline(spec, config);
+  ReplicationResult replicated = run_replicated(spec, config);
+
+  std::sort(replicated.propagation_us.begin(), replicated.propagation_us.end());
+  const double p50 = percentile_us(replicated.propagation_us, 0.50);
+  const double p99 = percentile_us(replicated.propagation_us, 0.99);
+  const double base_tps = baseline.tx_per_sec();
+  const double leader_tps = replicated.leader.tx_per_sec();
+  const double delta_pct = base_tps > 0 ? (base_tps - leader_tps) / base_tps * 100.0 : 0.0;
+
+  std::printf("%-20s %8llu %10.1f %10.1f %10.1f %12.0f %12.0f %7.1f%%\n", "NetThroughput/mixed",
+              static_cast<unsigned long long>(replicated.height),
+              replicated.replicated_blocks_per_sec(), p50, p99, base_tps, leader_tps, delta_pct);
+  std::printf("wire: %llu frames / %llu bytes received at the follower; %llu acks sent\n",
+              static_cast<unsigned long long>(replicated.wire.frames_received),
+              static_cast<unsigned long long>(replicated.wire.bytes_received),
+              static_cast<unsigned long long>(replicated.follower.net_acks_sent));
+
+  std::ostringstream object;
+  object << "{\"benchmark\": \"NetThroughput/"
+         << bench::json_escape(workload::to_string(spec.kind)) << "\""
+         << ", \"blocks\": " << replicated.height
+         << ", \"txs_per_block\": " << spec.txs_per_block
+         << ", \"replicated_blocks_per_sec\": " << replicated.replicated_blocks_per_sec()
+         << ", \"propagation_p50_us\": " << p50
+         << ", \"propagation_p99_us\": " << p99
+         << ", \"baseline_tx_per_sec\": " << base_tps
+         << ", \"leader_tx_per_sec\": " << leader_tps
+         << ", \"leader_delta_pct\": " << delta_pct
+         << ", \"wire_frames\": " << replicated.wire.frames_received
+         << ", \"wire_bytes\": " << replicated.wire.bytes_received
+         << ", \"follower_acks\": " << replicated.follower.net_acks_sent
+         << ", \"follower_wire_errors\": " << replicated.follower.net_wire_errors
+         << ", \"chains_match\": " << (replicated.chains_match ? "true" : "false")
+         << ", \"machine_iters_per_us\": " << util::iterations_per_microsecond() << "}";
+  bench::write_json_object(object.str());
+
+  if (!replicated.chains_match) {
+    std::fprintf(stderr, "FAIL: follower chain diverged from the leader (height %llu vs %llu)\n",
+                 static_cast<unsigned long long>(replicated.follower.blocks),
+                 static_cast<unsigned long long>(replicated.height));
+    return 1;
+  }
+  return 0;
+}

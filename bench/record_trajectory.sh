@@ -39,6 +39,10 @@ STATE_SRC="$(dirname "$SRC")/bench_state_scale.json"
 # delta recorded informationally next to the gated throughput points.
 READ_SRC="$(dirname "$SRC")/bench_read_storm.json"
 
+# And the network layer: replicated blocks/s, propagation p50/p99 and
+# the leader's tx/s delta with a follower attached. Non-gating.
+NET_SRC="$(dirname "$SRC")/bench_net_throughput.json"
+
 mkdir -p bench/trajectory
 DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
 {
@@ -55,6 +59,11 @@ DEST="bench/trajectory/BENCH_${COMMIT}${DIRTY}.json"
   if [[ -s "$READ_SRC" ]] && grep -q '{' "$READ_SRC"; then
     printf '  "read_storm": '
     cat "$READ_SRC"
+    printf ',\n'
+  fi
+  if [[ -s "$NET_SRC" ]] && grep -q '{' "$NET_SRC"; then
+    printf '  "net": '
+    cat "$NET_SRC"
     printf ',\n'
   fi
   printf '  "node_throughput": '

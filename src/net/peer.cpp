@@ -1,0 +1,113 @@
+#include "net/peer.hpp"
+
+#include <algorithm>
+
+namespace concord::net {
+
+Peer::Peer(std::unique_ptr<Transport> transport, PeerConfig config)
+    : config_(std::move(config)),
+      transport_((transport == nullptr
+                      ? throw std::invalid_argument("peer: transport must not be null")
+                      : std::move(transport))),
+      inbound_(config_.inbound_depth),
+      writer_(*transport_),
+      rx_thread_([this] { receive_loop(); }) {}
+
+Peer::~Peer() {
+  close();
+  // rx_thread_ (jthread) joins on destruction; members it touches are
+  // declared before it, so they outlive the join.
+}
+
+bool Peer::send(const Message& message) { return send_payload(encode_message(message)); }
+
+bool Peer::send_payload(const std::vector<std::uint8_t>& payload) {
+  std::scoped_lock lk(send_mu_);
+  try {
+    writer_.write_frame(payload);
+  } catch (const TransportError&) {
+    return false;  // Session over; senders treat it like a dropped peer.
+  }
+  std::scoped_lock state(state_mu_);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += payload.size() + 4;  // Payload + length prefix.
+  return true;
+}
+
+std::optional<Message> Peer::recv() { return inbound_.pop(); }
+
+void Peer::close() {
+  transport_->close();
+  inbound_.close();
+}
+
+bool Peer::failed() const {
+  std::scoped_lock lk(state_mu_);
+  return failed_;
+}
+
+std::string Peer::error() const {
+  std::scoped_lock lk(state_mu_);
+  return error_;
+}
+
+PeerStats Peer::stats() const {
+  std::scoped_lock lk(state_mu_);
+  PeerStats stats = stats_;
+  stats.inbound_high_water = inbound_.high_water();
+  return stats;
+}
+
+void Peer::receive_loop() {
+  FrameReader reader(*transport_);
+  try {
+    for (;;) {
+      std::optional<std::vector<std::uint8_t>> payload = reader.read_frame();
+      if (!payload.has_value()) break;  // Clean end-of-stream.
+      Message message = decode_message(*payload);
+      {
+        std::scoped_lock lk(state_mu_);
+        ++stats_.frames_received;
+        stats_.bytes_received += payload->size() + 4;
+      }
+      if (!inbound_.push(std::move(message))) break;  // Ring closed under us.
+    }
+  } catch (const std::exception& e) {
+    // TransportError (truncated frame) or util::DecodeError (malformed
+    // length/body): the byte stream is unrecoverable — record the cause
+    // and tear the session down. The consumer observes nullopt + failed().
+    std::scoped_lock lk(state_mu_);
+    failed_ = true;
+    error_ = config_.name + ": " + e.what();
+  }
+  // Wake the consumer (and any blocked sender) no matter how the loop
+  // ended; also stops the remote's writer from filling a dead pipe.
+  close();
+}
+
+void PeerSet::add(std::shared_ptr<Peer> peer) {
+  if (peer == nullptr) throw std::invalid_argument("peer set: peer must not be null");
+  std::scoped_lock lk(mu_);
+  peers_.push_back(std::move(peer));
+}
+
+void PeerSet::broadcast(const Message& message) {
+  const std::vector<std::uint8_t> payload = encode_message(message);
+  for (const auto& peer : peers()) (void)peer->send_payload(payload);
+}
+
+std::vector<std::shared_ptr<Peer>> PeerSet::peers() const {
+  std::scoped_lock lk(mu_);
+  return peers_;
+}
+
+std::size_t PeerSet::size() const {
+  std::scoped_lock lk(mu_);
+  return peers_.size();
+}
+
+void PeerSet::close_all() {
+  for (const auto& peer : peers()) peer->close();
+}
+
+}  // namespace concord::net

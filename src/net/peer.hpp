@@ -1,0 +1,202 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace concord::net {
+
+/// Bounded inbound message ring — the per-peer flavor of the node's
+/// depth-k HandoffRing: the receive thread produces decoded messages,
+/// the session consumer pops them in order, and a full ring blocks the
+/// receiver, which stalls the transport, which backpressures the sender
+/// end-to-end (a slow follower slows the leader instead of buffering
+/// unboundedly). Mutex + condition variables for the same reason the
+/// handoff ring uses them: traffic is one message at a time and
+/// shutdown wants the linearization a single mutex gives for free.
+class InboundRing {
+ public:
+  explicit InboundRing(std::size_t depth) : depth_(depth) {
+    if (depth == 0) throw std::invalid_argument("inbound ring: depth must be >= 1");
+  }
+
+  InboundRing(const InboundRing&) = delete;
+  InboundRing& operator=(const InboundRing&) = delete;
+
+  /// Producer (receive thread). Blocks while full; returns false when
+  /// the ring closed instead (the message is dropped — the session is
+  /// over).
+  bool push(Message message) {
+    std::unique_lock lk(mu_);
+    space_.wait(lk, [&] { return ring_.size() < depth_ || closed_; });
+    if (closed_) return false;
+    ring_.push_back(std::move(message));
+    high_water_ = std::max(high_water_, ring_.size());
+    lk.unlock();
+    filled_.notify_one();
+    return true;
+  }
+
+  /// Consumer. Blocks until a message arrives; nullopt once closed AND
+  /// drained — the session-over signal.
+  [[nodiscard]] std::optional<Message> pop() {
+    std::unique_lock lk(mu_);
+    filled_.wait(lk, [&] { return !ring_.empty() || closed_; });
+    if (ring_.empty()) return std::nullopt;
+    Message message = std::move(ring_.front());
+    ring_.pop_front();
+    lk.unlock();
+    space_.notify_one();
+    return message;
+  }
+
+  /// Either side; idempotent. Queued messages stay poppable (drain).
+  void close() {
+    {
+      std::scoped_lock lk(mu_);
+      closed_ = true;
+    }
+    space_.notify_all();
+    filled_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t high_water() const {
+    std::scoped_lock lk(mu_);
+    return high_water_;
+  }
+
+ private:
+  std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable space_;
+  std::condition_variable filled_;
+  std::deque<Message> ring_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+/// Lifetime counters for one peer session.
+struct PeerStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::size_t inbound_high_water = 0;  ///< Max messages queued at once.
+};
+
+struct PeerConfig {
+  std::string name = "peer";       ///< Diagnostic label (error messages).
+  std::size_t inbound_depth = 8;   ///< Decoded messages buffered per peer.
+};
+
+/// One live session with a remote node: a transport, a receive thread
+/// that reassembles frames and decodes messages into the bounded inbound
+/// ring, and a serialized send path. The peer OWNS its transport and the
+/// session lifecycle around it.
+///
+/// Failure model — the two ways a session ends, and why they differ:
+///  - Clean shutdown: the remote closed on a frame boundary. recv()
+///    drains what arrived, then returns nullopt; failed() stays false.
+///  - Wire failure: a truncated frame, an oversized length, an unknown
+///    type byte, or any malformed message body. A byte stream cannot be
+///    re-synchronized after undecodable bytes, and a peer that sends
+///    them is Byzantine by definition — the session is torn down
+///    immediately, failed() turns true and error() names the cause.
+///    The consumer sees nullopt from recv() after the drain, exactly
+///    like a disconnect, because that is what it is.
+///
+/// Thread contract: any number of threads may send() (serialized
+/// internally); one consumer thread drives recv().
+class Peer {
+ public:
+  /// Takes ownership of the transport and starts the receive thread.
+  explicit Peer(std::unique_ptr<Transport> transport, PeerConfig config = {});
+
+  /// Closes the session and joins the receive thread.
+  ~Peer();
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Encodes and sends one message as one frame. Thread-safe. Returns
+  /// false when the transport is already closed (the message went
+  /// nowhere — a session that is over is not an error for senders,
+  /// mirroring how a real node treats writes to a dropping peer).
+  bool send(const Message& message);
+
+  /// Pre-encoded flavor: a leader broadcasting one block to N peers
+  /// encodes once and hands each peer the same payload bytes.
+  bool send_payload(const std::vector<std::uint8_t>& payload);
+
+  /// Next decoded inbound message, in arrival order. Blocks; nullopt
+  /// once the session is over (clean or failed) and the ring drained.
+  [[nodiscard]] std::optional<Message> recv();
+
+  /// Closes transport and ring, wakes everything. Idempotent.
+  void close();
+
+  /// True when the session died on a wire error (see class comment).
+  [[nodiscard]] bool failed() const;
+  /// The wire error description (empty while !failed()).
+  [[nodiscard]] std::string error() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] PeerStats stats() const;
+
+ private:
+  void receive_loop();
+
+  PeerConfig config_;
+  std::unique_ptr<Transport> transport_;
+  InboundRing inbound_;
+  FrameWriter writer_;
+
+  mutable std::mutex send_mu_;   ///< Serializes frame writes.
+  mutable std::mutex state_mu_;  ///< Guards error_/stats_.
+  std::string error_;
+  bool failed_ = false;
+  PeerStats stats_;
+
+  std::jthread rx_thread_;  ///< Last member: joins before the rest dies.
+};
+
+/// The leader-side container: every follower session this node serves.
+/// Peers are shared so a service thread can outlive set mutation.
+class PeerSet {
+ public:
+  PeerSet() = default;
+
+  PeerSet(const PeerSet&) = delete;
+  PeerSet& operator=(const PeerSet&) = delete;
+
+  void add(std::shared_ptr<Peer> peer);
+
+  /// Encode-once broadcast to every peer currently in the set.
+  void broadcast(const Message& message);
+
+  /// Snapshot of the current membership.
+  [[nodiscard]] std::vector<std::shared_ptr<Peer>> peers() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Closes every session. Idempotent.
+  void close_all();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Peer>> peers_;
+};
+
+}  // namespace concord::net

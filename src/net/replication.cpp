@@ -1,0 +1,125 @@
+#include "net/replication.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace concord::net {
+
+Leader::Leader(std::shared_ptr<PeerSet> peers, util::Hash256 genesis_root)
+    : peers_((peers == nullptr ? throw std::invalid_argument("leader: peer set must not be null")
+                               : std::move(peers))),
+      genesis_root_(genesis_root) {}
+
+Leader::~Leader() { stop(); }
+
+void Leader::start() {
+  if (started_) throw std::logic_error("leader: start() may only be called once");
+  started_ = true;
+  const std::vector<std::shared_ptr<Peer>> peers = peers_->peers();
+  {
+    std::scoped_lock lk(progress_mu_);
+    progress_.resize(peers.size());
+    for (std::size_t i = 0; i < peers.size(); ++i) progress_[i].name = peers[i]->name();
+  }
+  service_threads_.reserve(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    // progress_ is fully sized above and never resized again, so the
+    // reference each service thread holds stays valid for its lifetime.
+    service_threads_.emplace_back(
+        [this, peer = peers[i], i] { serve_peer(peer, progress_[i]); });
+  }
+}
+
+void Leader::stop() {
+  peers_->close_all();
+  service_threads_.clear();  // jthread dtor joins.
+}
+
+void Leader::announce(const chain::Block& block) {
+  {
+    std::scoped_lock lk(log_mu_);
+    log_.push_back(block);
+  }
+  peers_->broadcast(Message{BlockAnnounce{block}});
+}
+
+std::uint64_t Leader::announced() const {
+  std::scoped_lock lk(log_mu_);
+  return log_.size();
+}
+
+std::vector<FollowerProgress> Leader::progress() const {
+  std::scoped_lock lk(progress_mu_);
+  return progress_;
+}
+
+void Leader::serve_peer(const std::shared_ptr<Peer>& peer, FollowerProgress& progress) {
+  while (true) {
+    std::optional<Message> message = peer->recv();
+    if (!message.has_value()) return;  // Session over (clean or failed).
+
+    if (const auto* hello = std::get_if<Hello>(&*message)) {
+      if (hello->protocol != kProtocolVersion || hello->genesis_root != genesis_root_) {
+        // A peer on a different protocol or chain can never exchange
+        // blocks with us; say why, then drop the session.
+        (void)peer->send(Message{Nack{0, NackReason::kWrongChain,
+                                      hello->protocol != kProtocolVersion
+                                          ? "protocol version mismatch"
+                                          : "genesis root mismatch"}});
+        peer->close();
+        return;
+      }
+      std::uint64_t head = 0;
+      {
+        std::scoped_lock lk(log_mu_);
+        head = log_.size();
+      }
+      (void)peer->send(Message{Hello{kProtocolVersion, genesis_root_, head}});
+      continue;
+    }
+
+    if (const auto* request = std::get_if<BlockRequest>(&*message)) {
+      // Retransmission / catch-up: served from the private announce log.
+      std::optional<chain::Block> block;
+      {
+        std::scoped_lock lk(log_mu_);
+        if (request->number >= 1 && request->number <= log_.size()) {
+          block = log_[static_cast<std::size_t>(request->number) - 1];
+        }
+      }
+      if (block.has_value()) {
+        (void)peer->send(Message{BlockAnnounce{std::move(*block)}});
+        std::scoped_lock lk(progress_mu_);
+        ++progress.requests_served;
+      }
+      continue;
+    }
+
+    if (const auto* ack = std::get_if<Ack>(&*message)) {
+      bool diverged = false;
+      {
+        std::scoped_lock lk(log_mu_);
+        if (ack->number >= 1 && ack->number <= log_.size()) {
+          diverged = log_[static_cast<std::size_t>(ack->number) - 1].header.state_root !=
+                     ack->head_root;
+        }
+      }
+      std::scoped_lock lk(progress_mu_);
+      progress.acked = std::max(progress.acked, ack->number);
+      if (diverged) progress.diverged = true;
+      continue;
+    }
+
+    if (std::get_if<Nack>(&*message) != nullptr) {
+      std::scoped_lock lk(progress_mu_);
+      ++progress.nacks;
+      continue;
+    }
+
+    // BlockAnnounce from a follower: not part of the leader's protocol
+    // surface; ignored (a follower cannot push blocks upstream).
+  }
+}
+
+}  // namespace concord::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "net/peer.hpp"
+
+namespace concord::net {
+
+/// Per-follower replication progress as the leader observes it.
+struct FollowerProgress {
+  std::string name;
+  std::uint64_t acked = 0;          ///< Highest block number acknowledged.
+  std::uint64_t nacks = 0;          ///< Rejections this follower reported.
+  std::uint64_t requests_served = 0;  ///< Retransmissions answered.
+  bool diverged = false;  ///< An Ack carried a state root we never produced.
+};
+
+/// The leader half of block replication: fans every accepted block out
+/// to the follower set and services the return channel (Acks, Nacks,
+/// retransmission requests) with one thread per peer.
+///
+/// The leader keeps its own log of announced blocks rather than reading
+/// the node's Blockchain: announce() receives each block by value on the
+/// validator thread, and serving a BlockRequest from a private mutex-
+/// guarded log keeps the service threads entirely off the node's
+/// internals (the chain's backing vector reallocates on append — reading
+/// it from another thread would be a race, and the trust boundary says
+/// the network layer gets serialized blocks, not shared memory).
+///
+/// Wiring: construct with the peer set, install announcer() as
+/// NodeConfig::on_block_accepted, call start() before Node::run() and
+/// stop() after it returns. A blocking announce (follower inbound rings
+/// full, pipe at capacity) backpressures the validator stage — the
+/// replication analogue of the mempool's producer backpressure.
+class Leader {
+ public:
+  /// `genesis_root` identifies the chain in the Hello handshake.
+  Leader(std::shared_ptr<PeerSet> peers, util::Hash256 genesis_root);
+
+  ~Leader();
+
+  Leader(const Leader&) = delete;
+  Leader& operator=(const Leader&) = delete;
+
+  /// Spawns one service thread per peer (handshake + return channel).
+  void start();
+
+  /// Closes every peer session and joins the service threads. Followers
+  /// tailing the stream observe a clean end-of-stream. Idempotent.
+  void stop();
+
+  /// Appends to the announce log and broadcasts one BlockAnnounce to
+  /// every peer (encoded once). Runs on whichever thread accepts blocks.
+  void announce(const chain::Block& block);
+
+  /// The announce hook shaped for NodeConfig::on_block_accepted.
+  [[nodiscard]] std::function<void(const chain::Block&)> announcer() {
+    return [this](const chain::Block& block) { announce(block); };
+  }
+
+  /// Progress snapshot, one entry per peer (index-aligned with the set).
+  [[nodiscard]] std::vector<FollowerProgress> progress() const;
+
+  /// Blocks announced so far (the log length).
+  [[nodiscard]] std::uint64_t announced() const;
+
+ private:
+  void serve_peer(const std::shared_ptr<Peer>& peer, FollowerProgress& progress);
+
+  std::shared_ptr<PeerSet> peers_;
+  util::Hash256 genesis_root_;
+
+  mutable std::mutex log_mu_;
+  std::vector<chain::Block> log_;  ///< log_[i] = announced block number i+1.
+
+  mutable std::mutex progress_mu_;
+  std::vector<FollowerProgress> progress_;
+
+  std::vector<std::jthread> service_threads_;
+  bool started_ = false;
+};
+
+}  // namespace concord::net

@@ -1,0 +1,107 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace concord::net {
+
+std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>> PipeTransport::make_pair(
+    std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("pipe transport: capacity must be >= 1");
+  auto a_to_b = std::make_shared<ByteQueue>(capacity);
+  auto b_to_a = std::make_shared<ByteQueue>(capacity);
+  std::unique_ptr<PipeTransport> a(new PipeTransport(b_to_a, a_to_b));
+  std::unique_ptr<PipeTransport> b(new PipeTransport(a_to_b, b_to_a));
+  return {std::move(a), std::move(b)};
+}
+
+std::size_t PipeTransport::read_some(std::span<std::uint8_t> out) {
+  if (out.empty()) return 0;
+  std::unique_lock lk(rx_->mu);
+  rx_->readable.wait(lk, [&] { return !rx_->bytes.empty() || rx_->closed; });
+  if (rx_->bytes.empty()) return 0;  // Closed and drained: end-of-stream.
+  const std::size_t n = std::min(out.size(), rx_->bytes.size());
+  std::copy_n(rx_->bytes.begin(), n, out.begin());
+  rx_->bytes.erase(rx_->bytes.begin(), rx_->bytes.begin() + static_cast<std::ptrdiff_t>(n));
+  lk.unlock();
+  rx_->writable.notify_one();
+  return n;
+}
+
+void PipeTransport::write_all(std::span<const std::uint8_t> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    std::unique_lock lk(tx_->mu);
+    tx_->writable.wait(lk, [&] { return tx_->bytes.size() < tx_->capacity || tx_->closed; });
+    if (tx_->closed) {
+      throw TransportError("pipe transport: write on closed stream (" +
+                           std::to_string(data.size() - written) + " bytes undelivered)");
+    }
+    const std::size_t room = tx_->capacity - tx_->bytes.size();
+    const std::size_t n = std::min(room, data.size() - written);
+    tx_->bytes.insert(tx_->bytes.end(), data.begin() + static_cast<std::ptrdiff_t>(written),
+                      data.begin() + static_cast<std::ptrdiff_t>(written + n));
+    written += n;
+    lk.unlock();
+    tx_->readable.notify_one();
+  }
+}
+
+void PipeTransport::close() {
+  // Both directions: a dropped connection is symmetric. Readers on the
+  // other end drain what was already delivered, then see end-of-stream.
+  for (const auto& queue : {rx_, tx_}) {
+    {
+      std::scoped_lock lk(queue->mu);
+      queue->closed = true;
+    }
+    queue->readable.notify_all();
+    queue->writable.notify_all();
+  }
+}
+
+bool PipeTransport::closed() const {
+  std::scoped_lock lk(rx_->mu);
+  return rx_->closed;
+}
+
+void FrameWriter::write_frame(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("frame writer: payload exceeds kMaxFrameBytes");
+  }
+  util::ByteWriter w;
+  w.put_u32_fixed(static_cast<std::uint32_t>(payload.size()));
+  w.put_raw(payload);
+  transport_->write_all(w.bytes());
+}
+
+bool FrameReader::read_exact(std::span<std::uint8_t> out, bool at_boundary) {
+  std::size_t have = 0;
+  while (have < out.size()) {
+    const std::size_t n = transport_->read_some(out.subspan(have));
+    if (n == 0) {
+      if (at_boundary && have == 0) return false;  // Clean end-of-stream.
+      throw TransportError("frame reader: stream ended mid-frame (truncated frame, got " +
+                           std::to_string(have) + " of " + std::to_string(out.size()) +
+                           " bytes)");
+    }
+    have += n;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::read_frame() {
+  std::array<std::uint8_t, 4> prefix{};
+  if (!read_exact(prefix, /*at_boundary=*/true)) return std::nullopt;
+  util::ByteReader r(prefix);
+  const std::uint32_t length = r.get_u32_fixed();
+  if (length > kMaxFrameBytes) {
+    throw util::DecodeError("frame length " + std::to_string(length) + " exceeds cap " +
+                            std::to_string(kMaxFrameBytes));
+  }
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0 && !read_exact(payload, /*at_boundary=*/false)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace concord::net

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace concord::net {
+
+/// Raised on transport-level failures: writing into a closed connection,
+/// or a frame that dies mid-byte-stream. Distinct from util::DecodeError
+/// (malformed *content*): a TransportError means the byte stream itself
+/// ended or broke, which on a real network is a disconnect, not a
+/// protocol violation.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A bidirectional, ordered, reliable byte stream to one peer — the
+/// contract a TCP socket satisfies. Everything above this interface
+/// (framing, messages, sessions) is transport-agnostic: the in-process
+/// PipeTransport below keeps CI deterministic, and a socket
+/// implementation slots in without touching the peer layer.
+///
+/// Thread contract: one reader thread and one writer thread may operate
+/// concurrently; close() may race with both (it is the shutdown signal).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks until at least one byte is available, then copies up to
+  /// `out.size()` bytes and returns the count. Returns 0 only when the
+  /// stream is closed AND drained — the clean end-of-stream signal.
+  [[nodiscard]] virtual std::size_t read_some(std::span<std::uint8_t> out) = 0;
+
+  /// Writes the whole span, blocking on flow control (the peer's receive
+  /// buffer is bounded). Throws TransportError when the stream is closed
+  /// before every byte is accepted.
+  virtual void write_all(std::span<const std::uint8_t> data) = 0;
+
+  /// Shuts the stream down in both directions: blocked readers drain
+  /// what was already delivered and then see end-of-stream, blocked
+  /// writers throw. Idempotent; callable from any thread.
+  virtual void close() = 0;
+
+  /// True once close() was called on either endpoint.
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// The in-process socketpair: two Transport endpoints connected by a
+/// pair of bounded byte queues (one per direction). Bytes written into
+/// endpoint A become readable from endpoint B in order, with writer
+/// blocking once `capacity` bytes are in flight — the same backpressure
+/// a TCP send window applies, which is what makes the leader/follower
+/// flow-control tests honest. Closing either endpoint closes both
+/// directions, mirroring a dropped connection.
+class PipeTransport final : public Transport {
+ public:
+  /// Builds a connected endpoint pair. `capacity` bounds each
+  /// direction's in-flight bytes (must be >= 1).
+  [[nodiscard]] static std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>>
+  make_pair(std::size_t capacity = 1 << 20);
+
+  [[nodiscard]] std::size_t read_some(std::span<std::uint8_t> out) override;
+  void write_all(std::span<const std::uint8_t> data) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  /// One direction's bounded byte stream.
+  struct ByteQueue {
+    explicit ByteQueue(std::size_t cap) : capacity(cap) {}
+
+    std::size_t capacity;
+    std::mutex mu;
+    std::condition_variable readable;
+    std::condition_variable writable;
+    std::deque<std::uint8_t> bytes;
+    bool closed = false;
+  };
+
+  PipeTransport(std::shared_ptr<ByteQueue> rx, std::shared_ptr<ByteQueue> tx)
+      : rx_(std::move(rx)), tx_(std::move(tx)) {}
+
+  std::shared_ptr<ByteQueue> rx_;  ///< Peer writes here; we read.
+  std::shared_ptr<ByteQueue> tx_;  ///< We write here; peer reads.
+};
+
+/// Wire framing: every message travels as one length-prefixed frame —
+/// a fixed little-endian u32 payload length, then exactly that many
+/// payload bytes. The length prefix is what turns a byte stream back
+/// into message boundaries; it is NOT part of the message encoding, so
+/// the decode→re-encode byte-identity guarantee applies to payloads.
+///
+/// Frames larger than kMaxFrameBytes are rejected before any allocation:
+/// the length is attacker-controlled, and a forged 4 GiB frame must die
+/// as a typed error, not an OOM.
+inline constexpr std::size_t kMaxFrameBytes = 32u << 20;  // 32 MiB.
+
+/// Writes frames onto a transport. Not internally synchronized — the
+/// session layer serializes senders (Peer::send).
+class FrameWriter {
+ public:
+  explicit FrameWriter(Transport& transport) : transport_(&transport) {}
+
+  /// One frame: length prefix + payload, as a single write_all (the
+  /// transport sees a frame atomically or throws).
+  void write_frame(std::span<const std::uint8_t> payload);
+
+ private:
+  Transport* transport_;
+};
+
+/// Reads frames off a transport, reassembling partial reads. One reader
+/// thread per transport.
+class FrameReader {
+ public:
+  explicit FrameReader(Transport& transport) : transport_(&transport) {}
+
+  /// Blocks for the next complete frame's payload. Returns nullopt on a
+  /// CLEAN end-of-stream (the transport closed exactly on a frame
+  /// boundary). Throws TransportError when the stream dies mid-frame —
+  /// a truncated frame is indistinguishable from a Byzantine peer and
+  /// must kill the session, never silently deliver a prefix — and
+  /// util::DecodeError when the announced length exceeds kMaxFrameBytes.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> read_frame();
+
+ private:
+  /// Reads exactly `n` bytes. `at_boundary` selects the clean-EOF
+  /// behavior: between frames an EOF is a normal shutdown (false), mid-
+  /// frame it is a truncation (throw).
+  [[nodiscard]] bool read_exact(std::span<std::uint8_t> out, bool at_boundary);
+
+  Transport* transport_;
+};
+
+}  // namespace concord::net

@@ -1,0 +1,134 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "vm/codec.hpp"
+
+namespace concord::net {
+
+namespace {
+
+constexpr MsgType msg_type_of(const Hello&) noexcept { return MsgType::kHello; }
+constexpr MsgType msg_type_of(const BlockAnnounce&) noexcept { return MsgType::kBlockAnnounce; }
+constexpr MsgType msg_type_of(const BlockRequest&) noexcept { return MsgType::kBlockRequest; }
+constexpr MsgType msg_type_of(const Ack&) noexcept { return MsgType::kAck; }
+constexpr MsgType msg_type_of(const Nack&) noexcept { return MsgType::kNack; }
+
+void put_hash(util::ByteWriter& w, const util::Hash256& h) { w.put_raw(h.bytes); }
+
+util::Hash256 get_hash(util::ByteReader& r) {
+  util::Hash256 h;
+  const auto raw = r.get_raw(h.bytes.size());
+  std::copy(raw.begin(), raw.end(), h.bytes.begin());
+  return h;
+}
+
+void encode_body(util::ByteWriter& w, const Hello& m) {
+  w.put_varint(m.protocol);
+  put_hash(w, m.genesis_root);
+  w.put_varint(m.head);
+}
+
+void encode_body(util::ByteWriter& w, const BlockAnnounce& m) { m.block.encode(w); }
+
+void encode_body(util::ByteWriter& w, const BlockRequest& m) { w.put_varint(m.number); }
+
+void encode_body(util::ByteWriter& w, const Ack& m) {
+  w.put_varint(m.number);
+  put_hash(w, m.head_root);
+}
+
+void encode_body(util::ByteWriter& w, const Nack& m) {
+  w.put_varint(m.number);
+  w.put_u8(static_cast<std::uint8_t>(m.reason));
+  w.put_string(m.detail);
+}
+
+}  // namespace
+
+std::string_view to_string(NackReason reason) noexcept {
+  switch (reason) {
+    case NackReason::kValidationFailed: return "validation-failed";
+    case NackReason::kOutOfOrder: return "out-of-order";
+    case NackReason::kWrongChain: return "wrong-chain";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  util::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(
+      std::visit([](const auto& m) { return msg_type_of(m); }, message)));
+  std::visit([&w](const auto& m) { encode_body(w, m); }, message);
+  return std::move(w).take();
+}
+
+Message decode_message(std::span<const std::uint8_t> payload) {
+  util::ByteReader r(payload);
+  const std::uint8_t type = r.get_u8();
+  Message message;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello: {
+      Hello m;
+      vm::decode_value(r, m.protocol);
+      m.genesis_root = get_hash(r);
+      vm::decode_value(r, m.head);
+      message = std::move(m);
+      break;
+    }
+    case MsgType::kBlockAnnounce: {
+      BlockAnnounce m;
+      m.block = chain::Block::decode(r);
+      message = std::move(m);
+      break;
+    }
+    case MsgType::kBlockRequest: {
+      BlockRequest m;
+      vm::decode_value(r, m.number);
+      message = std::move(m);
+      break;
+    }
+    case MsgType::kAck: {
+      Ack m;
+      vm::decode_value(r, m.number);
+      m.head_root = get_hash(r);
+      message = std::move(m);
+      break;
+    }
+    case MsgType::kNack: {
+      Nack m;
+      vm::decode_value(r, m.number);
+      const std::uint8_t reason = r.get_u8();
+      if (reason > static_cast<std::uint8_t>(NackReason::kWrongChain)) {
+        throw util::DecodeError("nack reason code out of range");
+      }
+      m.reason = static_cast<NackReason>(reason);
+      m.detail = r.get_string();
+      message = std::move(m);
+      break;
+    }
+    default:
+      throw util::DecodeError("unknown message type byte " + std::to_string(type));
+  }
+  // Byte identity needs exhaustion: a payload with trailing bytes would
+  // decode to a message whose re-encoding drops them — a mutable frame.
+  if (!r.exhausted()) {
+    throw util::DecodeError("trailing bytes after message body (" +
+                            std::to_string(r.remaining()) + " left)");
+  }
+  return message;
+}
+
+std::string_view message_name(const Message& message) noexcept {
+  switch (message.index()) {
+    case 0: return "hello";
+    case 1: return "block-announce";
+    case 2: return "block-request";
+    case 3: return "ack";
+    case 4: return "nack";
+  }
+  return "?";
+}
+
+}  // namespace concord::net

@@ -1,6 +1,7 @@
 #include "node/node.hpp"
 
 #include <algorithm>
+#include <variant>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -9,6 +10,8 @@
 #include <string>
 #include <thread>
 #include <utility>
+
+#include "net/peer.hpp"
 
 namespace concord::node {
 
@@ -84,6 +87,7 @@ Node::Node(std::unique_ptr<vm::World> world, NodeConfig config)
 
 void Node::run() {
   if (ran_) throw std::logic_error("Node::run() may only be called once");
+  if (following_) throw std::logic_error("Node::run(): this node is a follower");
   ran_ = true;
   const auto start = Clock::now();
   try {
@@ -369,6 +373,143 @@ void Node::run_pipelined() {
   stats_.ring_high_water = ring.stats().high_water;
 }
 
+void Node::run_follower(net::Peer& peer) {
+  if (ran_) throw std::logic_error("Node::run_follower(): this node already ran as a leader");
+  if (in_session_) throw std::logic_error("Node::run_follower(): a session is already active");
+  following_ = true;
+  in_session_ = true;
+  const auto start = Clock::now();
+  // The recovery anchor survives across sessions: a reconnecting
+  // follower resumes from its last accepted boundary, not from genesis.
+  if (!follower_boundary_.has_value()) follower_boundary_ = genesis_;
+
+  double validate_ms = 0.0;
+  std::uint64_t leader_head = chain_.height();
+
+  const auto send_nack = [&](std::uint64_t number, net::NackReason reason, std::string detail) {
+    if (peer.send(net::Message{net::Nack{number, reason, std::move(detail)}})) {
+      ++stats_.net_nacks_sent;
+    }
+  };
+  // Catch-up pull: whenever the leader is known to be ahead of us, ask
+  // for exactly the next block we need. Drives both reconnect catch-up
+  // and post-Nack retransmission.
+  const auto request_next = [&] {
+    if (leader_head <= chain_.height()) return;
+    if (config_.max_blocks != 0 && stats_.blocks >= config_.max_blocks) return;
+    if (peer.send(net::Message{net::BlockRequest{chain_.height() + 1}})) {
+      ++stats_.net_requests_sent;
+    }
+  };
+
+  ++stats_.net_sessions;
+  (void)peer.send(
+      net::Message{net::Hello{net::kProtocolVersion, genesis_.state_root(), chain_.height()}});
+
+  while (config_.max_blocks == 0 || stats_.blocks < config_.max_blocks) {
+    std::optional<net::Message> message = peer.recv();
+    if (!message.has_value()) break;  // Session over (clean close or wire failure).
+
+    if (const auto* hello = std::get_if<net::Hello>(&*message)) {
+      if (hello->protocol != net::kProtocolVersion ||
+          hello->genesis_root != genesis_.state_root()) {
+        send_nack(0, net::NackReason::kWrongChain,
+                  hello->protocol != net::kProtocolVersion ? "protocol version mismatch"
+                                                           : "genesis root mismatch");
+        peer.close();
+        break;
+      }
+      leader_head = std::max(leader_head, hello->head);
+      request_next();
+      continue;
+    }
+
+    if (auto* announce = std::get_if<net::BlockAnnounce>(&*message)) {
+      ++stats_.net_announces;
+      const std::uint64_t number = announce->block.header.number;
+      leader_head = std::max(leader_head, number);
+      const std::uint64_t expected = chain_.height() + 1;
+
+      if (number < expected) {
+        // A retransmission of a block we already hold: re-Ack with OUR
+        // root at that height so the leader can detect divergence.
+        if (peer.send(net::Message{
+                net::Ack{number, chain_.at(number).header.state_root}})) {
+          ++stats_.net_acks_sent;
+        }
+        continue;
+      }
+      if (number > expected) {
+        // A gap: blocks only append in order, so name the one we need.
+        send_nack(number, net::NackReason::kOutOfOrder,
+                  "expected block " + std::to_string(expected));
+        request_next();
+        continue;
+      }
+      if (announce->block.header.parent_hash != chain_.tip().hash()) {
+        // Right height, wrong parent: the leader is extending a chain we
+        // do not have. No state was touched — Nack without recovery.
+        send_nack(number, net::NackReason::kValidationFailed, "parent hash mismatch");
+        request_next();
+        continue;
+      }
+
+      // The real trust boundary: validate the announced block against
+      // its published schedule exactly as the local pipeline would.
+      bool accepted = false;
+      std::string reject_detail;
+      try {
+        accepted = validate_and_append(std::move(announce->block), validate_ms);
+        if (!accepted && last_rejection_.has_value()) {
+          reject_detail = std::string(core::to_string(last_rejection_->reason)) + ": " +
+                          last_rejection_->detail;
+        }
+      } catch (const chain::ChainError& e) {
+        // Structural append failure after replay: treat as a rejection
+        // (the replica is dirty — the recovery below re-materializes it).
+        accepted = false;
+        reject_detail = std::string("structural: ") + e.what();
+      }
+
+      if (accepted) {
+        const chain::Block& tip = chain_.tip();
+        // Refresh the recovery anchor to the new accepted boundary (the
+        // verified root seeds the snapshot, as on the mining path).
+        const auto t_snapshot = Clock::now();
+        follower_boundary_ = vm::WorldSnapshot(*validator_world_, tip.header.state_root);
+        stats_.snapshot_ms += ms_since(t_snapshot);
+        if (peer.send(net::Message{net::Ack{number, tip.header.state_root}})) {
+          ++stats_.net_acks_sent;
+        }
+        request_next();
+        continue;
+      }
+
+      // Rejected: this is PR 4 recovery serving as fork-choice. Unwind
+      // the replica to the last accepted boundary, tell the leader why,
+      // and ask for an honest retransmission of the same height.
+      const auto t_recover = Clock::now();
+      validator_world_ = follower_boundary_->materialize();
+      validator_.resume_from(*validator_world_);
+      if (read_path_enabled()) snapshots_.rewind_to(chain_.tip().header.number);
+      ++stats_.recoveries;
+      stats_.recovery_ms += ms_since(t_recover);
+      send_nack(number, net::NackReason::kValidationFailed, std::move(reject_detail));
+      request_next();
+      continue;
+    }
+
+    // Ack / Nack / BlockRequest addressed to a follower: not part of the
+    // follower's protocol surface; ignored.
+  }
+
+  if (peer.failed()) ++stats_.net_wire_errors;
+  stats_.validate_ms += validate_ms;
+  stats_.wall_ms += ms_since(start);
+  fold_read_stats();
+  in_session_ = false;
+}
+
 void Node::fold_lane_stats(const core::MinerStats& mined) {
   stats_.attempts += mined.attempts;
   stats_.conflict_aborts += mined.conflict_aborts;
@@ -476,6 +617,7 @@ bool Node::validate_and_append(chain::Block block, double& validate_ms) {
   validate_ms += ms_since(t_validate);
   if (!report.ok) {
     ++stats_.rejected_blocks;
+    last_rejection_ = report;  // Every rejection, for the follower's Nack.
     if (!failure_.has_value()) failure_ = std::move(report);
     return false;
   }
@@ -494,6 +636,9 @@ bool Node::validate_and_append(chain::Block block, double& validate_ms) {
     // contract.
     snapshots_.publish(number, vm::WorldSnapshot(*validator_world_, root));
   }
+  // Replication egress LAST: a remote follower never hears about a block
+  // before the leader's own readers can pin it.
+  if (config_.on_block_accepted) config_.on_block_accepted(chain_.tip());
   return true;
 }
 
@@ -531,6 +676,23 @@ Node::Pin Node::pin_at(std::uint64_t block) const {
               std::to_string(snapshots_.retain()) + ") or was re-orged away";
   }
   throw SnapshotEvicted(reason);
+}
+
+Node::Pin Node::pin_no_older_than(std::uint64_t block, std::chrono::milliseconds timeout) const {
+  require_read_path();
+  const auto deadline = Clock::now() + timeout;
+  // wait_for_head returning true only means block N WAS published; a
+  // re-org between the wake-up and the pin can drop the head again, so
+  // re-check what was actually pinned and go back to waiting if it is
+  // too old. The loop is bounded by the deadline.
+  while (snapshots_.wait_for_head(block, deadline)) {
+    Pin pin = snapshots_.latest();
+    if (pin != nullptr && pin->number >= block) return pin;
+    if (Clock::now() >= deadline) break;
+  }
+  pins_expired_.fetch_add(1, std::memory_order_relaxed);
+  throw SnapshotEvicted("read-your-writes pin: block " + std::to_string(block) +
+                        " not published within " + std::to_string(timeout.count()) + "ms");
 }
 
 core::QueryOutcome Node::query_pinned(const Pin& pin, const core::QueryFn& fn) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -16,6 +17,10 @@
 #include "node/mempool.hpp"
 #include "node/snapshot_ring.hpp"
 #include "vm/world.hpp"
+
+namespace concord::net {
+class Peer;  // node.hpp stays light; run_follower's definition includes net/peer.hpp.
+}
 
 namespace concord::node {
 
@@ -82,6 +87,17 @@ struct NodeConfig {
   /// ring fill at a rejection is deterministic instead of a race between
   /// the stages). Not part of the consensus surface.
   std::function<void(const chain::Block&)> pre_validate_hook;
+
+  /// Replication egress: invoked with each block the moment it is
+  /// accepted — validated, appended, and (when the read path is on)
+  /// published to the snapshot ring. Runs on whichever thread appends
+  /// (the validator stage when pipelined), AFTER the block is fully
+  /// visible to local readers, so a remote follower can never observe a
+  /// block before the leader's own read path does. A blocking hook (a
+  /// leader whose followers' inbound rings are full) backpressures the
+  /// validation stage — the replication analogue of mempool
+  /// backpressure. Install net::Leader::announcer() here.
+  std::function<void(const chain::Block&)> on_block_accepted;
 
   /// MVCC read path: how many ACCEPTED block boundaries stay published
   /// for "as of block N" queries (the SnapshotRing window — see
@@ -176,6 +192,14 @@ struct NodeStats {
   /// Most boundaries simultaneously resident in the ring (≤ retain).
   std::size_t snapshots_retained_high_water = 0;
 
+  // Follower mode (all zero unless run_follower() drove this node).
+  std::uint64_t net_sessions = 0;        ///< run_follower() sessions completed.
+  std::uint64_t net_announces = 0;       ///< BlockAnnounce messages received.
+  std::uint64_t net_acks_sent = 0;       ///< Blocks acknowledged to the leader.
+  std::uint64_t net_nacks_sent = 0;      ///< Rejections reported to the leader.
+  std::uint64_t net_requests_sent = 0;   ///< Retransmissions / catch-up pulls asked for.
+  std::uint64_t net_wire_errors = 0;     ///< Sessions that died on undecodable bytes.
+
   [[nodiscard]] double blocks_per_sec() const noexcept {
     return wall_ms > 0 ? static_cast<double>(blocks) * 1e3 / wall_ms : 0.0;
   }
@@ -239,6 +263,23 @@ class Node {
   /// producers never hang.
   void run();
 
+  /// Follower mode: drives ONE replication session over `peer`, the
+  /// other side of the trust boundary from run(). Instead of mining, the
+  /// node consumes fully serialized BlockAnnounce frames from a leader,
+  /// validates each against its published schedule exactly as the local
+  /// pipeline would (same Validator, same replica), appends on success
+  /// (publishing the boundary to the snapshot ring — query_at serves
+  /// reads from a follower) and Acks; on rejection it Nacks with the
+  /// reject reason, runs the standard re-org recovery back to the last
+  /// accepted boundary, and asks for a retransmission — a Byzantine
+  /// leader cannot make the follower diverge, only stall.
+  ///
+  /// Returns when the session ends (remote closed, wire failure, or
+  /// max_blocks reached). Callable repeatedly — one call per session —
+  /// so a follower outlives reconnects; stats accumulate across
+  /// sessions. Mutually exclusive with run() for the node's lifetime.
+  void run_follower(net::Peer& peer);
+
   [[nodiscard]] const chain::Blockchain& chain() const noexcept { return chain_; }
 
   /// Valid after run() returns.
@@ -294,6 +335,16 @@ class Node {
   /// — with a reason distinguishing beyond-head / evicted-by-window /
   /// re-orged-away — when it cannot be served; never returns torn state.
   [[nodiscard]] Pin pin_at(std::uint64_t block) const;
+
+  /// Read-your-writes session pin: blocks until some boundary numbered
+  /// >= `block` is published, then pins the newest. A client that wrote
+  /// in block N calls pin_no_older_than(N) and is guaranteed to read
+  /// state that includes its write — on a follower, this is exactly
+  /// "wait for replication to catch up to my write". Throws
+  /// SnapshotEvicted when the deadline passes first (the leader stalled,
+  /// the session died, or N is simply beyond what this node will see).
+  [[nodiscard]] Pin pin_no_older_than(std::uint64_t block,
+                                      std::chrono::milliseconds timeout) const;
 
   /// Runs a read-only query against a held pin (see core::run_query).
   core::QueryOutcome query_pinned(const Pin& pin, const core::QueryFn& fn) const;
@@ -373,9 +424,17 @@ class Node {
   mutable std::atomic<std::uint64_t> pins_expired_{0};
   NodeStats stats_;
   std::optional<core::ValidationReport> failure_;
+  /// The MOST RECENT rejection (failure_ keeps only the first; the
+  /// follower Nacks every rejection with its own reason).
+  std::optional<core::ValidationReport> last_rejection_;
+  /// Follower recovery anchor: the last ACCEPTED boundary, refreshed
+  /// after each appended block and persistent across sessions.
+  std::optional<vm::WorldSnapshot> follower_boundary_;
   std::optional<detect::DetectReport> first_detect_report_;
   std::atomic<bool> mining_done_{false};
   bool ran_ = false;
+  bool following_ = false;  ///< run_follower() owns this node (excludes run()).
+  bool in_session_ = false; ///< A run_follower() call is currently active.
 };
 
 }  // namespace concord::node

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -64,6 +67,13 @@ class SnapshotRing {
         PublishedBoundary{number, std::move(snapshot)});
     slots_[slot_of(number)].store(std::move(entry), std::memory_order_release);
     head_.store(number, std::memory_order_release);
+    // Wake read-your-writes waiters (wait_for_head). The empty critical
+    // section orders the head store before the notify against a waiter
+    // that checked the predicate just before blocking.
+    {
+      std::scoped_lock lk(wait_mu_);
+    }
+    head_advanced_.notify_all();
     ++published_;
     const std::size_t resident = static_cast<std::size_t>(std::min<std::uint64_t>(
         number + 1, static_cast<std::uint64_t>(retain_)));
@@ -112,6 +122,20 @@ class SnapshotRing {
     head_.store(number, std::memory_order_release);
   }
 
+  /// Read-your-writes support: blocks until the head reaches `number`
+  /// (true) or the deadline passes (false). A true return means block
+  /// `number` WAS published; whether it is still in the window is the
+  /// caller's pin to win — under re-org churn the head can drop again,
+  /// which is why Node::pin_no_older_than re-checks the pin it gets.
+  [[nodiscard]] bool wait_for_head(std::uint64_t number,
+                                   std::chrono::steady_clock::time_point deadline) const {
+    std::unique_lock lk(wait_mu_);
+    return head_advanced_.wait_until(lk, deadline, [&] {
+      const std::uint64_t head = head_.load(std::memory_order_acquire);
+      return head != kEmpty && head >= number;
+    });
+  }
+
   /// Newest published block number (nullopt before the first publish).
   [[nodiscard]] std::optional<std::uint64_t> head_number() const {
     const std::uint64_t head = head_.load(std::memory_order_acquire);
@@ -135,6 +159,8 @@ class SnapshotRing {
   std::size_t retain_;
   std::unique_ptr<Slot[]> slots_;  ///< atomics are non-movable; vector won't do.
   std::atomic<std::uint64_t> head_{kEmpty};
+  mutable std::mutex wait_mu_;                      ///< Guards only the cv below.
+  mutable std::condition_variable head_advanced_;   ///< wait_for_head sleepers.
   std::uint64_t published_ = 0;    ///< Writer-thread only.
   std::size_t high_water_ = 0;     ///< Writer-thread only.
 };

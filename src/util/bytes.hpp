@@ -104,7 +104,16 @@ class ByteReader {
       const std::uint8_t byte = data_[pos_++];
       if (shift == 63 && (byte & 0x7e) != 0) throw DecodeError("varint overflows 64 bits");
       v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) return v;
+      if ((byte & 0x80) == 0) {
+        // Canonical (minimal) encodings only: a final 0x00 byte after a
+        // continuation adds no value bits, so "80 00" and "00" would
+        // decode to the same integer from different bytes. The writer
+        // never emits such padding; accepting it would break the wire
+        // layer's decode→re-encode byte-identity guarantee and give
+        // every framed message a mutable twin.
+        if (byte == 0 && shift > 0) throw DecodeError("non-canonical varint padding");
+        return v;
+      }
       shift += 7;
       if (shift > 63) throw DecodeError("varint too long");
     }
@@ -153,7 +162,11 @@ class ByteReader {
 
  private:
   void require(std::uint64_t n) const {
-    if (pos_ + n > data_.size()) throw DecodeError("truncated input");
+    // Subtraction form, never `pos_ + n`: n is attacker-controlled (a
+    // decoded 64-bit length), and the addition can wrap past SIZE_MAX
+    // back under size() — turning a forged length into an out-of-bounds
+    // read instead of a clean DecodeError. pos_ <= size() always holds.
+    if (n > data_.size() - pos_) throw DecodeError("truncated input");
   }
 
   std::span<const std::uint8_t> data_;

@@ -162,6 +162,52 @@ TEST(Bytes, RawReadWrite) {
   EXPECT_THROW((void)r.get_raw(1), DecodeError);
 }
 
+TEST(Bytes, NonCanonicalVarintPaddingThrows) {
+  // 0x85 0x00 decodes to 5 under a permissive reader, but 5 encodes as
+  // a single byte — two encodings for one value would break the wire
+  // layer's decode→re-encode byte-identity guarantee.
+  {
+    const std::vector<std::uint8_t> padded = {0x85, 0x00};
+    ByteReader r(padded);
+    EXPECT_THROW((void)r.get_varint(), DecodeError);
+  }
+  // Multi-byte padding flavor: 128 is {0x80, 0x01}; {0x80, 0x81, 0x00}
+  // sneaks an empty continuation group on top.
+  {
+    const std::vector<std::uint8_t> padded = {0x80, 0x81, 0x00};
+    ByteReader r(padded);
+    EXPECT_THROW((void)r.get_varint(), DecodeError);
+  }
+  // The canonical encodings stay accepted — including a legitimate
+  // trailing zero *group* that carries high bits ({0x80, 0x01} = 128).
+  const std::vector<std::uint8_t> canonical = {0x80, 0x01};
+  ByteReader r(canonical);
+  EXPECT_EQ(r.get_varint(), 128u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ForgedGiantLengthIsTypedErrorNotOverflow) {
+  // Regression: `pos_ + n` wraps for n near 2^64, letting a forged
+  // length pass the bounds check and read out of bounds. The subtraction
+  // form must reject every oversized n with a typed error.
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_EQ(r.get_u8(), 1);  // pos_ = 1, so pos_ + ~0ull wraps to 0.
+  EXPECT_THROW((void)r.get_raw(~0ull), DecodeError);
+  EXPECT_THROW((void)r.get_raw(~0ull - 1), DecodeError);
+  // The reader stays usable after the rejected read.
+  EXPECT_EQ(r.get_u8(), 2);
+}
+
+TEST(Bytes, ForgedCollectionCountRejectedBeforeAllocation) {
+  // A length-prefixed field claiming ~2^61 elements must die on the
+  // bounds check, not in the allocator.
+  ByteWriter w;
+  w.put_varint(1ull << 61);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get_count(/*min_item_bytes=*/1), DecodeError);
+}
+
 // ------------------------------------------------------------- Sha256 ---
 
 TEST(Sha256, EmptyStringVector) {
